@@ -1,0 +1,226 @@
+// Benchmarks regenerating the paper's evaluation, one per figure (see
+// DESIGN.md's per-experiment index). Wall-clock numbers measure the
+// simulator on the host; each bench also reports the modeled device
+// throughput as "sim-GB/s", which is the figure quantity.
+package gompresso_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"gompresso"
+	"gompresso/internal/baseline"
+	"gompresso/internal/datagen"
+	"gompresso/internal/figures"
+	"gompresso/internal/lz77"
+)
+
+const benchSize = 8 << 20
+
+var (
+	corpusOnce sync.Once
+	wikiData   []byte
+	matrixData []byte
+)
+
+func corpora() ([]byte, []byte) {
+	corpusOnce.Do(func() {
+		wikiData = datagen.WikiXML(benchSize, 1)
+		matrixData = datagen.MatrixMarket(benchSize, 1)
+	})
+	return wikiData, matrixData
+}
+
+// compressFor caches compressed streams per (variant, DE, data) so benches
+// time decompression only.
+var compCache sync.Map
+
+func compressFor(b *testing.B, data []byte, variant gompresso.Variant, de gompresso.DEMode) []byte {
+	b.Helper()
+	type key struct {
+		v  gompresso.Variant
+		de gompresso.DEMode
+		p  *byte
+	}
+	k := key{variant, de, &data[0]}
+	if v, ok := compCache.Load(k); ok {
+		return v.([]byte)
+	}
+	comp, _, err := gompresso.Compress(data, gompresso.Options{Variant: variant, DE: de})
+	if err != nil {
+		b.Fatal(err)
+	}
+	compCache.Store(k, comp)
+	return comp
+}
+
+// benchDevice times simulated-device decompression and reports the modeled
+// throughput.
+func benchDevice(b *testing.B, comp []byte, raw []byte, strat gompresso.Strategy, pcie gompresso.PCIeMode) {
+	b.Helper()
+	b.SetBytes(int64(len(raw)))
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		out, ds, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+			Engine: gompresso.EngineDevice, Strategy: strat, PCIe: pcie, TileTo: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && !bytes.Equal(out, raw) {
+			b.Fatal("roundtrip mismatch")
+		}
+		sim = float64(ds.RawSize) / ds.SimSeconds / 1e9
+	}
+	b.ReportMetric(sim, "sim-GB/s")
+}
+
+// Fig. 9a — strategy comparison, Gompresso/Byte, no transfers.
+func BenchmarkFig09a_Wikipedia_SC(b *testing.B) {
+	w, _ := corpora()
+	benchDevice(b, compressFor(b, w, gompresso.VariantByte, gompresso.DEOff), w, gompresso.SC, gompresso.PCIeNone)
+}
+func BenchmarkFig09a_Wikipedia_MRR(b *testing.B) {
+	w, _ := corpora()
+	benchDevice(b, compressFor(b, w, gompresso.VariantByte, gompresso.DEOff), w, gompresso.MRR, gompresso.PCIeNone)
+}
+func BenchmarkFig09a_Wikipedia_DE(b *testing.B) {
+	w, _ := corpora()
+	benchDevice(b, compressFor(b, w, gompresso.VariantByte, gompresso.DEStrict), w, gompresso.DE, gompresso.PCIeNone)
+}
+func BenchmarkFig09a_Matrix_SC(b *testing.B) {
+	_, m := corpora()
+	benchDevice(b, compressFor(b, m, gompresso.VariantByte, gompresso.DEOff), m, gompresso.SC, gompresso.PCIeNone)
+}
+func BenchmarkFig09a_Matrix_MRR(b *testing.B) {
+	_, m := corpora()
+	benchDevice(b, compressFor(b, m, gompresso.VariantByte, gompresso.DEOff), m, gompresso.MRR, gompresso.PCIeNone)
+}
+func BenchmarkFig09a_Matrix_DE(b *testing.B) {
+	_, m := corpora()
+	benchDevice(b, compressFor(b, m, gompresso.VariantByte, gompresso.DEStrict), m, gompresso.DE, gompresso.PCIeNone)
+}
+
+// Fig. 9b — MRR round statistics (the bench reports avg rounds).
+func BenchmarkFig09b_Rounds(b *testing.B) {
+	w, _ := corpora()
+	comp := compressFor(b, w, gompresso.VariantByte, gompresso.DEOff)
+	b.SetBytes(int64(len(w)))
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		_, ds, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+			Engine: gompresso.EngineDevice, Strategy: gompresso.MRR,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = ds.Rounds.AvgRounds()
+	}
+	b.ReportMetric(rounds, "avg-rounds")
+}
+
+// Fig. 9c — nesting-depth sweep endpoints.
+func BenchmarkFig09c_Depth1(b *testing.B)  { benchNesting(b, 32) }
+func BenchmarkFig09c_Depth32(b *testing.B) { benchNesting(b, 1) }
+
+func benchNesting(b *testing.B, families int) {
+	data := datagen.Nesting(benchSize, families, 7)
+	comp, _, err := gompresso.Compress(data, gompresso.Options{
+		Variant: gompresso.VariantByte, DE: gompresso.DEOff, Window: datagen.NestingWindow,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDevice(b, comp, data, gompresso.MRR, gompresso.PCIeNone)
+}
+
+// Fig. 11 — Dependency Elimination compression cost.
+func BenchmarkFig11_Compress_NoDE(b *testing.B) { benchFig11(b, lz77.DEOff) }
+func BenchmarkFig11_Compress_DE(b *testing.B)   { benchFig11(b, lz77.DEStrict) }
+
+func benchFig11(b *testing.B, de lz77.DEMode) {
+	w, _ := corpora()
+	b.SetBytes(int64(len(w)))
+	for i := 0; i < b.N; i++ {
+		ts, err := lz77.Parse(w, lz77.Options{DE: de, Staleness: lz77.DefaultStaleness, Window: 1<<16 - 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(w))/float64(ts.CompressedSizeByte()), "ratio")
+		}
+	}
+}
+
+// Fig. 12 — block-size sweep endpoints, Gompresso/Bit with transfers.
+func BenchmarkFig12_Block32KB(b *testing.B)  { benchFig12(b, 32<<10) }
+func BenchmarkFig12_Block256KB(b *testing.B) { benchFig12(b, 256<<10) }
+
+func benchFig12(b *testing.B, blockSize int) {
+	w, _ := corpora()
+	comp, _, err := gompresso.Compress(w, gompresso.Options{
+		Variant: gompresso.VariantBit, DE: gompresso.DEStrict, BlockSize: blockSize,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDevice(b, comp, w, gompresso.DE, gompresso.PCIeInOut)
+}
+
+// Fig. 13 — Gompresso/Bit vs the measured CPU baselines on this host.
+func BenchmarkFig13_GompBit(b *testing.B) {
+	w, _ := corpora()
+	benchDevice(b, compressFor(b, w, gompresso.VariantBit, gompresso.DEStrict), w, gompresso.DE, gompresso.PCIeInOut)
+}
+
+func BenchmarkFig13_CPU(b *testing.B) {
+	w, _ := corpora()
+	for _, c := range baseline.All() {
+		comp, err := baseline.CompressParallel(c, w, baseline.DefaultParallelBlockSize, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(w)))
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.DecompressParallel(c, comp, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Fig. 14 — energy model over the Fig. 13 Wikipedia points (reported as
+// J/GB for the Gompresso/Bit run).
+func BenchmarkFig14_Energy(b *testing.B) {
+	cfg := figures.Config{DataSize: 4 << 20}
+	var joules float64
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == "Gomp/Bit (In/Out)" {
+				joules = r.JoulesGB
+			}
+		}
+	}
+	b.ReportMetric(joules, "J/GB")
+}
+
+// Host-engine reference decompression, for comparison with the baselines.
+func BenchmarkHostEngine_Bit(b *testing.B) {
+	w, _ := corpora()
+	comp := compressFor(b, w, gompresso.VariantBit, gompresso.DEStrict)
+	b.SetBytes(int64(len(w)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+			Engine: gompresso.EngineHost,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command figures regenerates the paper's evaluation (Figs. 9–14 and the
+// quoted scalars). See DESIGN.md for the per-experiment index.
+//
+// Usage:
+//
+//	figures                      # all figures, calibrated CPU mode, 32 MiB
+//	figures -fig 9a -size 64MiB
+//	figures -mode measured       # time the real Go baselines on this host
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gompresso/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure: 9a, 9b, 9c, 11, 12, 13, 14, scalars, ablations, all")
+	sizeStr := flag.String("size", "32MiB", "bytes per synthetic dataset (e.g. 8MiB, 128MiB)")
+	seed := flag.Uint64("seed", 1, "dataset seed")
+	mode := flag.String("mode", "calibrated", "CPU side of figs 13/14: calibrated or measured")
+	flag.Parse()
+
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fail(err)
+	}
+	cfg := figures.Config{DataSize: size, Seed: *seed}
+	switch *mode {
+	case "calibrated":
+		cfg.Mode = figures.Calibrated
+	case "measured":
+		cfg.Mode = figures.Measured
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	run := func(name string) {
+		switch name {
+		case "9a":
+			rows, err := figures.Fig9a(cfg)
+			check(err)
+			fmt.Println(figures.RenderFig9a(rows))
+		case "9b":
+			rows, err := figures.Fig9b(cfg)
+			check(err)
+			fmt.Println(figures.RenderFig9b(rows))
+		case "9c":
+			rows, err := figures.Fig9c(cfg)
+			check(err)
+			fmt.Println(figures.RenderFig9c(rows))
+		case "11":
+			rows, err := figures.Fig11(cfg)
+			check(err)
+			fmt.Println(figures.RenderFig11(rows))
+		case "12":
+			rows, err := figures.Fig12(cfg)
+			check(err)
+			fmt.Println(figures.RenderFig12(rows))
+		case "13":
+			rows, err := figures.Fig13(cfg)
+			check(err)
+			fmt.Println(figures.RenderFig13(rows))
+		case "14":
+			rows, err := figures.Fig14(cfg)
+			check(err)
+			fmt.Println(figures.RenderFig14(rows))
+		case "scalars":
+			rows, err := figures.Scalars(cfg)
+			check(err)
+			fmt.Println(figures.RenderScalars(rows))
+		case "ablations":
+			st, err := figures.AblationStaleness(cfg)
+			check(err)
+			fmt.Println(figures.RenderAblationStaleness(st))
+			dm, err := figures.AblationDEMode(cfg)
+			check(err)
+			fmt.Println(figures.RenderAblationDEMode(dm))
+			sb, err := figures.AblationSubBlocks(cfg)
+			check(err)
+			fmt.Println(figures.RenderAblationSubBlocks(sb))
+			cw, err := figures.AblationCWL(cfg)
+			check(err)
+			fmt.Println(figures.RenderAblationCWL(cw))
+		default:
+			fail(fmt.Errorf("unknown figure %q", name))
+		}
+	}
+	fmt.Printf("# Gompresso reproduction — dataset size %s per corpus, %s CPU mode\n\n", *sizeStr, *mode)
+	if *fig == "all" {
+		for _, name := range []string{"9a", "9b", "9c", "11", "12", "13", "14", "scalars", "ablations"} {
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func parseSize(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

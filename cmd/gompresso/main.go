@@ -1,0 +1,256 @@
+// Command gompresso compresses and decompresses files in the Gompresso
+// format (paper Fig. 3).
+//
+// Usage:
+//
+//	gompresso compress   [flags] <in> <out>
+//	gompresso decompress [flags] <in> <out>
+//	gompresso info       <in>
+//	gompresso verify     [flags] <in>     (compress+decompress in memory)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gompresso"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "compress":
+		err = compressCmd(args)
+	case "decompress":
+		err = decompressCmd(args)
+	case "info":
+		err = infoCmd(args)
+	case "verify":
+		err = verifyCmd(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gompresso:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|info|verify} [flags] <in> [out]")
+	os.Exit(2)
+}
+
+func compressFlags(fs *flag.FlagSet) func() (gompresso.Options, error) {
+	variant := fs.String("variant", "bit", "entropy coding: bit (Huffman) or byte (LZ4-style)")
+	blockKB := fs.Int("block", 256, "data block size in KiB")
+	window := fs.Int("window", 8<<10, "LZ77 sliding window in bytes")
+	de := fs.String("de", "strict", "dependency elimination: off, strict, lit")
+	cwl := fs.Int("cwl", 10, "Huffman codeword length limit (bit variant)")
+	subSeqs := fs.Int("subseqs", 16, "sequences per sub-block (bit variant)")
+	return func() (gompresso.Options, error) {
+		o := gompresso.Options{
+			BlockSize:  *blockKB << 10,
+			Window:     *window,
+			CWL:        *cwl,
+			SeqsPerSub: *subSeqs,
+		}
+		switch *variant {
+		case "bit":
+			o.Variant = gompresso.VariantBit
+		case "byte":
+			o.Variant = gompresso.VariantByte
+		default:
+			return o, fmt.Errorf("unknown variant %q", *variant)
+		}
+		switch *de {
+		case "off":
+			o.DE = gompresso.DEOff
+		case "strict":
+			o.DE = gompresso.DEStrict
+		case "lit":
+			o.DE = gompresso.DELit
+		default:
+			return o, fmt.Errorf("unknown DE mode %q", *de)
+		}
+		return o, nil
+	}
+}
+
+func decompressFlags(fs *flag.FlagSet) func() (gompresso.DecompressOptions, error) {
+	engine := fs.String("engine", "device", "engine: device (simulated GPU) or host")
+	strategy := fs.String("strategy", "auto", "back-reference strategy: auto, sc, mrr, de")
+	pcie := fs.String("pcie", "none", "transfer accounting: none, in, inout")
+	return func() (gompresso.DecompressOptions, error) {
+		var o gompresso.DecompressOptions
+		switch *engine {
+		case "device":
+			o.Engine = gompresso.EngineDevice
+		case "host":
+			o.Engine = gompresso.EngineHost
+		default:
+			return o, fmt.Errorf("unknown engine %q", *engine)
+		}
+		switch *strategy {
+		case "auto", "mrr":
+			o.Strategy = gompresso.MRR
+		case "sc":
+			o.Strategy = gompresso.SC
+		case "de":
+			o.Strategy = gompresso.DE
+		default:
+			return o, fmt.Errorf("unknown strategy %q", *strategy)
+		}
+		switch *pcie {
+		case "none":
+			o.PCIe = gompresso.PCIeNone
+		case "in":
+			o.PCIe = gompresso.PCIeIn
+		case "inout":
+			o.PCIe = gompresso.PCIeInOut
+		default:
+			return o, fmt.Errorf("unknown pcie mode %q", *pcie)
+		}
+		return o, nil
+	}
+}
+
+func compressCmd(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	opts := compressFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compress needs <in> <out>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	o, err := opts()
+	if err != nil {
+		return err
+	}
+	comp, stats, err := gompresso.Compress(src, o)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(fs.Arg(1), comp, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%d -> %d bytes  ratio %.3f  %.1f MB/s  %d blocks  %d sequences\n",
+		stats.RawSize, stats.CompSize, stats.Ratio, stats.Speed/1e6, stats.Blocks, stats.Seqs)
+	return nil
+}
+
+func decompressCmd(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	opts := decompressFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("decompress needs <in> <out>")
+	}
+	comp, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	o, err := opts()
+	if err != nil {
+		return err
+	}
+	// auto strategy: DE streams can use the single-round strategy.
+	if h, err := gompresso.Info(comp); err == nil && h.DEMode != gompresso.DEOff && o.Strategy == gompresso.MRR {
+		o.Strategy = gompresso.DE
+	}
+	out, stats, err := gompresso.Decompress(comp, o)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(fs.Arg(1), out, 0o644); err != nil {
+		return err
+	}
+	if stats.SimSeconds > 0 {
+		fmt.Printf("%d bytes  simulated %.3f ms (%.2f GB/s device)  host %.3f ms\n",
+			stats.RawSize, stats.SimSeconds*1e3, float64(stats.RawSize)/stats.SimSeconds/1e9,
+			stats.HostSeconds*1e3)
+		if stats.Rounds != nil && stats.Rounds.Groups > 0 {
+			fmt.Printf("MRR: %.2f avg rounds, max %d\n", stats.Rounds.AvgRounds(), stats.Rounds.MaxRounds)
+		}
+	} else {
+		fmt.Printf("%d bytes  host %.3f ms\n", stats.RawSize, stats.HostSeconds*1e3)
+	}
+	return nil
+}
+
+func infoCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info needs <in>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	h, err := gompresso.Info(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("variant      %v\n", h.Variant)
+	fmt.Printf("DE mode      %v\n", h.DEMode)
+	fmt.Printf("window       %d\n", h.Window)
+	fmt.Printf("block size   %d\n", h.BlockSize)
+	fmt.Printf("raw size     %d\n", h.RawSize)
+	fmt.Printf("blocks       %d\n", h.NumBlocks)
+	fmt.Printf("min match    %d\n", h.MinMatch)
+	fmt.Printf("max match    %d\n", h.MaxMatch)
+	if h.Variant == gompresso.VariantBit {
+		fmt.Printf("CWL          %d\n", h.CWL)
+		fmt.Printf("seqs/sub     %d\n", h.SeqsPerSub)
+	}
+	return nil
+}
+
+func verifyCmd(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	opts := compressFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify needs <in>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	o, err := opts()
+	if err != nil {
+		return err
+	}
+	comp, cs, err := gompresso.Compress(src, o)
+	if err != nil {
+		return err
+	}
+	strat := gompresso.MRR
+	if o.DE != gompresso.DEOff {
+		strat = gompresso.DE
+	}
+	for _, eng := range []struct {
+		name string
+		o    gompresso.DecompressOptions
+	}{
+		{"host", gompresso.DecompressOptions{Engine: gompresso.EngineHost}},
+		{"device", gompresso.DecompressOptions{Engine: gompresso.EngineDevice, Strategy: strat}},
+	} {
+		out, _, err := gompresso.Decompress(comp, eng.o)
+		if err != nil {
+			return fmt.Errorf("%s engine: %w", eng.name, err)
+		}
+		if string(out) != string(src) {
+			return fmt.Errorf("%s engine: roundtrip mismatch", eng.name)
+		}
+	}
+	fmt.Printf("ok: %d bytes, ratio %.3f, verified on host and simulated device\n", cs.RawSize, cs.Ratio)
+	return nil
+}

@@ -1,0 +1,86 @@
+// Columnscan models the paper's motivating Big Data workload (§I):
+// analytics queries that repeatedly read compressed data. A synthetic
+// Matrix Market "column" is compressed once at load time, then scanned
+// repeatedly — each scan decompresses on the simulated GPU and counts the
+// records matching a predicate. The output compares the three
+// back-reference strategies on the same query, showing why decompression
+// speed, not compression speed, dominates this workload.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"gompresso"
+	"gompresso/internal/datagen"
+)
+
+func main() {
+	// "Load time": ingest a 16 MiB coordinate-format dataset, compressed
+	// once per variant.
+	data := datagen.MatrixMarket(16<<20, 42)
+	fmt.Printf("loaded %d bytes of Matrix Market data\n", len(data))
+
+	normal, _, err := gompresso.Compress(data, gompresso.Options{
+		Variant: gompresso.VariantByte, DE: gompresso.DEOff,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deStream, deStats, err := gompresso.Compress(data, gompresso.Options{
+		Variant: gompresso.VariantByte, DE: gompresso.DEStrict,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored DE-compressed: ratio %.2f\n\n", deStats.Ratio)
+
+	// "Query time": run the same scan under each strategy.
+	queries := []struct {
+		name   string
+		stream []byte
+		strat  gompresso.Strategy
+	}{
+		{"sequential copying (SC)", normal, gompresso.SC},
+		{"multi-round resolution (MRR)", normal, gompresso.MRR},
+		{"dependency elimination (DE)", deStream, gompresso.DE},
+	}
+	fmt.Println("query: count edges incident to vertices < 100000")
+	for _, q := range queries {
+		out, ds, err := gompresso.Decompress(q.stream, gompresso.DecompressOptions{
+			Engine: gompresso.EngineDevice, Strategy: q.strat, PCIe: gompresso.PCIeIn,
+		})
+		if err != nil {
+			log.Fatal(q.name, ": ", err)
+		}
+		matches := countSmallRows(out)
+		fmt.Printf("  %-30s %8.3f ms simulated  (%.2f GB/s)  matches=%d\n",
+			q.name, ds.SimSeconds*1e3, float64(ds.RawSize)/ds.SimSeconds/1e9, matches)
+	}
+	fmt.Println("\nper the paper: the scan is decompression-bound, and DE turns the")
+	fmt.Println("back-reference phase into a single warp round per 32 sequences.")
+}
+
+// countSmallRows scans coordinate lines "row col\n" and counts rows below
+// 100000 — a stand-in for a selective analytics predicate.
+func countSmallRows(data []byte) int {
+	count := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(line) == 0 || line[0] == '%' {
+			continue
+		}
+		sp := bytes.IndexByte(line, ' ')
+		if sp <= 0 || sp > 5 { // rows below 100000 have ≤ 5 digits
+			continue
+		}
+		count++
+	}
+	return count
+}

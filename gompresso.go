@@ -1,0 +1,108 @@
+// Package gompresso is a Go reproduction of "Massively-Parallel Lossless
+// Data Decompression" (Sitaridi, Mueller, Kaldewey, Lohman, Ross — ICPP
+// 2016): the Gompresso compression scheme, its warp-synchronous GPU
+// decompression kernels (run on a deterministic device simulator), the
+// Multi-Round Resolution and Dependency Elimination strategies for nested
+// back-references, and the block-parallel CPU baselines the paper compares
+// against.
+//
+// Quick start:
+//
+//	comp, _, err := gompresso.Compress(data, gompresso.Options{})
+//	out, stats, err := gompresso.Decompress(comp, gompresso.DecompressOptions{})
+//	fmt.Println(stats.Throughput()) // simulated device bytes/s
+//
+// The zero Options value selects the paper's defaults: Gompresso/Bit
+// (LZ77 + limited-length Huffman), 256 KB blocks, 8 KB window, with an
+// unrestricted parse (decompress with the MRR strategy). Set
+// Options.DE = DEStrict to compress streams the single-round DE strategy
+// can decompress. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the reproduced evaluation.
+package gompresso
+
+import (
+	"gompresso/internal/core"
+	"gompresso/internal/format"
+	"gompresso/internal/gpu"
+	"gompresso/internal/kernels"
+	"gompresso/internal/lz77"
+)
+
+// Re-exported configuration and result types. Aliases keep the public API
+// thin while the implementation lives in internal packages.
+type (
+	// Options configures Compress.
+	Options = core.Options
+	// DecompressOptions configures Decompress.
+	DecompressOptions = core.DecompressOptions
+	// CompressStats reports compression results.
+	CompressStats = core.CompressStats
+	// DecompressStats reports decompression results, including simulated
+	// device time and MRR round statistics.
+	DecompressStats = core.DecompressStats
+	// FileHeader is the parsed container header.
+	FileHeader = format.FileHeader
+	// Variant selects Gompresso/Byte or Gompresso/Bit.
+	Variant = format.Variant
+	// Strategy selects the back-reference resolution strategy.
+	Strategy = kernels.Strategy
+	// DEMode selects the Dependency-Elimination parse rule.
+	DEMode = lz77.DEMode
+	// PCIeMode selects transfer accounting for the device engine.
+	PCIeMode = core.PCIeMode
+	// Engine selects the decompression implementation.
+	Engine = core.Engine
+	// DeviceSpec describes a simulated GPU.
+	DeviceSpec = gpu.Spec
+	// Device executes kernels on the simulator.
+	Device = gpu.Device
+)
+
+// Compression variants (paper §III).
+const (
+	VariantByte = format.VariantByte
+	VariantBit  = format.VariantBit
+)
+
+// Back-reference resolution strategies (paper §IV).
+const (
+	SC  = kernels.SC
+	MRR = kernels.MRR
+	DE  = kernels.DE
+)
+
+// Dependency-Elimination parse modes (paper §IV-B and DESIGN.md).
+const (
+	DEOff    = lz77.DEOff
+	DEStrict = lz77.DEStrict
+	DELit    = lz77.DELit
+)
+
+// Decompression engines and PCIe accounting modes.
+const (
+	EngineDevice = core.EngineDevice
+	EngineHost   = core.EngineHost
+	PCIeNone     = core.PCIeNone
+	PCIeIn       = core.PCIeIn
+	PCIeInOut    = core.PCIeInOut
+)
+
+// Compress compresses src into a Gompresso container.
+func Compress(src []byte, o Options) ([]byte, *CompressStats, error) {
+	return core.Compress(src, o)
+}
+
+// Decompress expands a Gompresso container. With the zero options it runs
+// on a simulated Tesla K40 using the strategy appropriate for DE streams.
+func Decompress(data []byte, o DecompressOptions) ([]byte, *DecompressStats, error) {
+	return core.Decompress(data, o)
+}
+
+// Info parses and returns a container's header without decompressing.
+func Info(data []byte) (FileHeader, error) { return core.Info(data) }
+
+// TeslaK40 returns the paper's evaluation device specification.
+func TeslaK40() DeviceSpec { return gpu.TeslaK40() }
+
+// NewDevice builds a simulator for the given specification.
+func NewDevice(spec DeviceSpec) (*Device, error) { return gpu.NewDevice(spec, 0) }

@@ -1,0 +1,79 @@
+package gompresso_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gompresso"
+	"gompresso/internal/datagen"
+)
+
+// The facade must expose a complete compress/decompress lifecycle.
+func TestFacadeRoundtrip(t *testing.T) {
+	src := datagen.WikiXML(2<<20, 5)
+	for _, variant := range []gompresso.Variant{gompresso.VariantBit, gompresso.VariantByte} {
+		comp, cs, err := gompresso.Compress(src, gompresso.Options{
+			Variant: variant, DE: gompresso.DEStrict,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Ratio <= 1 {
+			t.Fatalf("%v: no compression (%.2f)", variant, cs.Ratio)
+		}
+		h, err := gompresso.Info(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Variant != variant || h.RawSize != uint64(len(src)) {
+			t.Fatalf("%v: header %+v", variant, h)
+		}
+		for _, tc := range []gompresso.DecompressOptions{
+			{Engine: gompresso.EngineHost},
+			{Engine: gompresso.EngineDevice, Strategy: gompresso.DE},
+			{Engine: gompresso.EngineDevice, Strategy: gompresso.MRR, PCIe: gompresso.PCIeInOut},
+		} {
+			out, ds, err := gompresso.Decompress(comp, tc)
+			if err != nil {
+				t.Fatalf("%v engine %v: %v", variant, tc.Engine, err)
+			}
+			if !bytes.Equal(out, src) {
+				t.Fatalf("%v engine %v: mismatch", variant, tc.Engine)
+			}
+			if tc.Engine == gompresso.EngineDevice && ds.Throughput() <= 0 {
+				t.Fatalf("%v: no throughput", variant)
+			}
+		}
+	}
+}
+
+func TestFacadeCustomDevice(t *testing.T) {
+	spec := gompresso.TeslaK40()
+	spec.SMs = 30 // a bigger imaginary device must not be slower
+	dev, err := gompresso.NewDevice(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := datagen.MatrixMarket(2<<20, 5)
+	comp, _, err := gompresso.Compress(src, gompresso.Options{
+		Variant: gompresso.VariantByte, DE: gompresso.DEStrict,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, big, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+		Engine: gompresso.EngineDevice, Strategy: gompresso.DE, Device: dev, TileTo: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k40, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+		Engine: gompresso.EngineDevice, Strategy: gompresso.DE, TileTo: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.SimSeconds > k40.SimSeconds*1.01 {
+		t.Fatalf("30-SM device slower than 15-SM: %v vs %v", big.SimSeconds, k40.SimSeconds)
+	}
+}

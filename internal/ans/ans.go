@@ -1,0 +1,309 @@
+// Package ans implements a table-based asymmetric numeral system (tANS)
+// entropy coder over the byte alphabet, in the style of FSE. It is the
+// coding layer of the repository's Zstd-like baseline codec: the paper
+// (§V-D) compares against Zstd as a representative of "a different coding
+// algorithm on top of LZ-compression that is typically faster than Huffman
+// decoding".
+package ans
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"gompresso/internal/bitio"
+)
+
+// TableLog is the state-table size exponent: 2^11 states.
+const TableLog = 11
+
+const tableSize = 1 << TableLog
+
+// ErrCorrupt reports an undecodable stream.
+var ErrCorrupt = errors.New("ans: corrupt stream")
+
+// normalize scales a histogram so it sums to tableSize with every used
+// symbol keeping at least one slot (largest-remainder method).
+func normalize(hist []int) ([]int, error) {
+	total := 0
+	used := 0
+	for _, c := range hist {
+		total += c
+		if c > 0 {
+			used++
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("ans: empty input histogram")
+	}
+	if used == 1 {
+		return nil, errMonoByte
+	}
+	norm := make([]int, len(hist))
+	type rem struct {
+		sym  int
+		frac float64
+	}
+	var rems []rem
+	sum := 0
+	for s, c := range hist {
+		if c == 0 {
+			continue
+		}
+		exact := float64(c) * tableSize / float64(total)
+		n := int(exact)
+		if n == 0 {
+			n = 1
+		}
+		norm[s] = n
+		sum += n
+		rems = append(rems, rem{s, exact - float64(n)})
+	}
+	// Distribute the remaining slots (or reclaim excess) by remainder size,
+	// never dropping a symbol below one slot.
+	for sum != tableSize {
+		best := -1
+		if sum < tableSize {
+			var bf float64 = -1
+			for i, r := range rems {
+				if r.frac > bf {
+					bf = r.frac
+					best = i
+				}
+			}
+			norm[rems[best].sym]++
+			rems[best].frac -= 1
+			sum++
+		} else {
+			var bf float64 = 2
+			for i, r := range rems {
+				if norm[r.sym] > 1 && r.frac < bf {
+					bf = r.frac
+					best = i
+				}
+			}
+			if best < 0 {
+				return nil, errors.New("ans: cannot normalize histogram")
+			}
+			norm[rems[best].sym]--
+			rems[best].frac += 1
+			sum--
+		}
+	}
+	return norm, nil
+}
+
+var errMonoByte = errors.New("ans: single-symbol input")
+
+// spread places symbols into the state table with the zstd spreading step.
+func spread(norm []int) []uint8 {
+	table := make([]uint8, tableSize)
+	const step = (tableSize >> 1) + (tableSize >> 3) + 3
+	pos := 0
+	for s, n := range norm {
+		for i := 0; i < n; i++ {
+			table[pos] = uint8(s)
+			pos = (pos + step) & (tableSize - 1)
+		}
+	}
+	return table
+}
+
+type encSym struct {
+	deltaNbBits uint32
+	deltaFindSt int32
+}
+
+type decEntry struct {
+	sym    uint8
+	nbBits uint8
+	base   uint16 // new state base after subtracting tableSize
+}
+
+type codec struct {
+	enc      []encSym
+	encTable []uint16
+	dec      []decEntry
+}
+
+func buildCodec(norm []int) *codec {
+	table := spread(norm)
+	c := &codec{
+		enc:      make([]encSym, len(norm)),
+		encTable: make([]uint16, tableSize),
+		dec:      make([]decEntry, tableSize),
+	}
+	// Decoding table.
+	next := make([]int, len(norm))
+	copy(next, norm)
+	for i := 0; i < tableSize; i++ {
+		s := table[i]
+		x := next[s]
+		next[s]++
+		nb := TableLog - (bits.Len(uint(x)) - 1)
+		c.dec[i] = decEntry{
+			sym:    s,
+			nbBits: uint8(nb),
+			base:   uint16((x << nb) - tableSize),
+		}
+	}
+	// Encoding table: slot k for symbol s maps sub-state to table state.
+	cumul := make([]int, len(norm)+1)
+	for s, n := range norm {
+		cumul[s+1] = cumul[s] + n
+	}
+	pos := make([]int, len(norm))
+	copy(pos, cumul)
+	for i := 0; i < tableSize; i++ {
+		s := table[i]
+		c.encTable[pos[s]] = uint16(tableSize + i)
+		pos[s]++
+	}
+	for s, n := range norm {
+		if n == 0 {
+			continue
+		}
+		maxBits := TableLog - (bits.Len(uint(n)) - 1)
+		minStatePlus := uint32(n) << maxBits
+		c.enc[s] = encSym{
+			deltaNbBits: uint32(maxBits)<<16 - minStatePlus,
+			deltaFindSt: int32(cumul[s] - n),
+		}
+	}
+	return c
+}
+
+// Encode compresses src. The output carries a small header (raw length,
+// normalized histogram, final state) followed by the bitstream. Inputs whose
+// histogram cannot be ANS-coded (empty or single-symbol) use a stored/RLE
+// escape.
+func Encode(src []byte) []byte {
+	hist := make([]int, 256)
+	for _, b := range src {
+		hist[b]++
+	}
+	norm, err := normalize(hist)
+	if err != nil {
+		// Escape: 0 = stored, 1 = RLE. Both carry the raw length first so
+		// Decode shares one header parse.
+		if len(src) > 0 && err == errMonoByte {
+			out := []byte{1}
+			out = binary.AppendUvarint(out, uint64(len(src)))
+			return append(out, src[0])
+		}
+		out := []byte{0}
+		out = binary.AppendUvarint(out, uint64(len(src)))
+		return append(out, src...)
+	}
+	c := buildCodec(norm)
+
+	// Encode backwards, buffering per-symbol emissions, then write the
+	// chunks in reverse so the decoder can stream forward.
+	type chunk struct {
+		bits uint16
+		n    uint8
+	}
+	chunks := make([]chunk, len(src))
+	state := uint32(tableSize) // arbitrary valid start state
+	for i := len(src) - 1; i >= 0; i-- {
+		s := src[i]
+		e := c.enc[s]
+		nb := (state + e.deltaNbBits) >> 16
+		chunks[i] = chunk{bits: uint16(state & (1<<nb - 1)), n: uint8(nb)}
+		state = uint32(c.encTable[int32(state>>nb)+e.deltaFindSt])
+	}
+	out := []byte{2} // 2 = ANS-coded
+	out = binary.AppendUvarint(out, uint64(len(src)))
+	out = binary.AppendUvarint(out, uint64(state-tableSize))
+	// Histogram: norm counts as uvarints (0 for unused symbols).
+	for s := 0; s < 256; s++ {
+		out = binary.AppendUvarint(out, uint64(norm[s]))
+	}
+	w := bitio.NewWriter(len(src) / 2)
+	for i := 0; i < len(src); i++ {
+		w.WriteBits(uint64(chunks[i].bits), uint(chunks[i].n))
+	}
+	out = binary.AppendUvarint(out, uint64(w.BitLen()))
+	return append(out, w.Bytes()...)
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrCorrupt)
+	}
+	mode := data[0]
+	data = data[1:]
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n > 1<<31 {
+		return nil, fmt.Errorf("%w: bad length", ErrCorrupt)
+	}
+	data = data[k:]
+	switch mode {
+	case 0: // stored
+		if uint64(len(data)) != n {
+			return nil, fmt.Errorf("%w: stored length mismatch", ErrCorrupt)
+		}
+		return append([]byte{}, data...), nil
+	case 1: // RLE
+		if len(data) != 1 {
+			return nil, fmt.Errorf("%w: RLE payload", ErrCorrupt)
+		}
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = data[0]
+		}
+		return out, nil
+	case 2:
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrCorrupt, mode)
+	}
+
+	stateU, k := binary.Uvarint(data)
+	if k <= 0 || stateU >= tableSize {
+		return nil, fmt.Errorf("%w: bad state", ErrCorrupt)
+	}
+	data = data[k:]
+	norm := make([]int, 256)
+	sum := 0
+	for s := 0; s < 256; s++ {
+		v, k := binary.Uvarint(data)
+		if k <= 0 || v > tableSize {
+			return nil, fmt.Errorf("%w: bad histogram", ErrCorrupt)
+		}
+		norm[s] = int(v)
+		sum += int(v)
+		data = data[k:]
+	}
+	if sum != tableSize {
+		return nil, fmt.Errorf("%w: histogram sums to %d", ErrCorrupt, sum)
+	}
+	bitLen, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad bit length", ErrCorrupt)
+	}
+	data = data[k:]
+	if bitLen > uint64(len(data))*8 {
+		return nil, fmt.Errorf("%w: bitstream truncated", ErrCorrupt)
+	}
+	c := buildCodec(norm)
+	r := bitio.NewReaderBits(data, int64(bitLen))
+	out := make([]byte, n)
+	state := uint32(stateU)
+	for i := range out {
+		e := c.dec[state]
+		out[i] = e.sym
+		bitsV, err := r.ReadBits(uint(e.nbBits))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		state = uint32(e.base) + uint32(bitsV)
+	}
+	// The encoder starts from state index 0, so a correct decode must end
+	// there — a cheap integrity check on the whole stream.
+	if state != 0 {
+		return nil, fmt.Errorf("%w: final state %d", ErrCorrupt, state)
+	}
+	return out, nil
+}

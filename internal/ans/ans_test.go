@@ -1,0 +1,196 @@
+package ans
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundtripBasic(t *testing.T) {
+	cases := map[string][]byte{
+		"text":   []byte(strings.Repeat("the entropy coder compresses skewed data well. ", 200)),
+		"skewed": bytes.Repeat([]byte{'a', 'a', 'a', 'a', 'a', 'a', 'b', 'c'}, 1000),
+		"empty":  {},
+		"one":    {42},
+		"mono":   bytes.Repeat([]byte{7}, 5000),
+		"twosym": bytes.Repeat([]byte{0, 255}, 2500),
+		"allsyms": func() []byte {
+			b := make([]byte, 256)
+			for i := range b {
+				b[i] = byte(i)
+			}
+			return b
+		}(),
+	}
+	for name, src := range cases {
+		enc := Encode(src)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("%s: roundtrip mismatch (%d vs %d bytes)", name, len(got), len(src))
+		}
+	}
+}
+
+func TestCompressesSkewedData(t *testing.T) {
+	// Heavily skewed data should approach its entropy.
+	rng := rand.New(rand.NewSource(5))
+	src := make([]byte, 100000)
+	for i := range src {
+		r := rng.Intn(100)
+		switch {
+		case r < 70:
+			src[i] = 'a'
+		case r < 90:
+			src[i] = 'b'
+		case r < 97:
+			src[i] = 'c'
+		default:
+			src[i] = byte(rng.Intn(8))
+		}
+	}
+	enc := Encode(src)
+	// Shannon entropy of the distribution is ~1.3 bits/byte; allow overhead.
+	hist := make([]float64, 256)
+	for _, b := range src {
+		hist[b]++
+	}
+	entropy := 0.0
+	for _, c := range hist {
+		if c > 0 {
+			p := c / float64(len(src))
+			entropy -= p * math.Log2(p)
+		}
+	}
+	idealBytes := entropy * float64(len(src)) / 8
+	if float64(len(enc)) > idealBytes*1.1+600 {
+		t.Fatalf("encoded %d bytes, entropy bound %.0f", len(enc), idealBytes)
+	}
+	got, err := Decode(enc)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("skewed roundtrip failed")
+	}
+}
+
+func TestRandomDataRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := make([]byte, 65536)
+	rng.Read(src)
+	enc := Encode(src)
+	got, err := Decode(enc)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("random roundtrip failed")
+	}
+	// Random data cannot compress; overhead must stay modest (header ≈ 600B).
+	if len(enc) > len(src)+len(src)/10+700 {
+		t.Fatalf("random data blew up: %d → %d", len(src), len(enc))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	src := []byte(strings.Repeat("corrupt the ans stream ", 500))
+	enc := Encode(src)
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Decode([]byte{9, 1}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	// Bit flips must be detected or at minimum produce different output —
+	// the final-state check catches the vast majority.
+	detected := 0
+	for trial := 0; trial < 40; trial++ {
+		bad := append([]byte{}, enc...)
+		bad[600+trial*7%max(1, len(bad)-601)] ^= 0x10
+		got, err := Decode(bad)
+		if err != nil || !bytes.Equal(got, src) {
+			detected++
+		}
+	}
+	if detected < 35 {
+		t.Fatalf("only %d/40 corruptions detected", detected)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestNormalizeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hist := make([]int, 256)
+		used := 0
+		for i := range hist {
+			if rng.Intn(4) == 0 {
+				hist[i] = rng.Intn(100000) + 1
+				used++
+			}
+		}
+		if used < 2 {
+			hist[0], hist[1] = 3, 5
+		}
+		norm, err := normalize(hist)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for s, n := range norm {
+			if hist[s] > 0 && n < 1 {
+				return false // used symbols keep a slot
+			}
+			if hist[s] == 0 && n != 0 {
+				return false
+			}
+			sum += n
+		}
+		return sum == tableSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20000)
+		src := make([]byte, n)
+		alpha := 1 + rng.Intn(255)
+		for i := range src {
+			src[i] = byte(rng.Intn(alpha))
+		}
+		got, err := Decode(Encode(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	src := []byte(strings.Repeat("benchmark the ans entropy coder throughput ", 2000))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Encode(src)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	src := []byte(strings.Repeat("benchmark the ans entropy coder throughput ", 2000))
+	enc := Encode(src)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

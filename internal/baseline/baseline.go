@@ -1,0 +1,43 @@
+// Package baseline implements the CPU compression libraries Gompresso is
+// compared against in paper §V-D, parallelized exactly as the paper did:
+// "we parallelized the single-threaded implementations of the CPU-based
+// state-of-the-art compression libraries by splitting the input data into
+// equally-sized blocks that are then processed by the different cores in
+// parallel ... once a thread has completed decompressing a data block, it
+// immediately processes the next block from a common queue."
+//
+// Codecs:
+//
+//   - Flate: stdlib compress/flate — DEFLATE, the algorithm of zlib/gzip;
+//   - LZ4: the LZ4 block format, implemented from scratch;
+//   - Snappy: the Snappy block format, implemented from scratch;
+//   - ZstdLike: LZ77 with tANS-coded literals — standing in for Zstd's
+//     "different coding algorithm on top of LZ-compression" (§V-D).
+package baseline
+
+import "fmt"
+
+// Codec is a single-threaded block codec.
+type Codec interface {
+	Name() string
+	// Compress returns the compressed form of src.
+	Compress(src []byte) ([]byte, error)
+	// Decompress expands comp; rawLen is the expected output size.
+	Decompress(comp []byte, rawLen int) ([]byte, error)
+}
+
+// All returns one instance of every baseline codec, in the order the paper
+// lists them.
+func All() []Codec {
+	return []Codec{NewSnappy(), NewLZ4(), NewZstdLike(), NewFlate(6)}
+}
+
+// ByName returns the codec with the given Name.
+func ByName(name string) (Codec, error) {
+	for _, c := range All() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("baseline: unknown codec %q", name)
+}

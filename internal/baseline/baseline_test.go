@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gompresso/internal/datagen"
+)
+
+func testInputs() map[string][]byte {
+	rng := rand.New(rand.NewSource(21))
+	random := make([]byte, 100000)
+	rng.Read(random)
+	return map[string][]byte{
+		"empty":  {},
+		"one":    {42},
+		"short":  []byte("hello hello hello"),
+		"text":   []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 2000)),
+		"runs":   bytes.Repeat([]byte{0}, 90000),
+		"random": random,
+		"wiki":   datagen.WikiXML(200000, 4),
+		"matrix": datagen.MatrixMarket(200000, 4),
+	}
+}
+
+func TestCodecRoundtrips(t *testing.T) {
+	for _, c := range All() {
+		for name, src := range testInputs() {
+			comp, err := c.Compress(src)
+			if err != nil {
+				t.Fatalf("%s/%s: compress: %v", c.Name(), name, err)
+			}
+			got, err := c.Decompress(comp, len(src))
+			if err != nil {
+				t.Fatalf("%s/%s: decompress: %v", c.Name(), name, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("%s/%s: roundtrip mismatch", c.Name(), name)
+			}
+		}
+	}
+}
+
+func TestCodecsCompress(t *testing.T) {
+	src := datagen.WikiXML(1<<20, 9)
+	ratios := map[string]float64{}
+	for _, c := range All() {
+		comp, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios[c.Name()] = float64(len(src)) / float64(len(comp))
+	}
+	// DEFLATE must beat the byte-aligned codecs on ratio; all must compress.
+	for name, r := range ratios {
+		if r < 1.2 {
+			t.Errorf("%s ratio %.2f — should compress text", name, r)
+		}
+	}
+	if ratios["zlib"] <= ratios["LZ4"] || ratios["zlib"] <= ratios["Snappy"] {
+		t.Errorf("ratio ordering: %v", ratios)
+	}
+	if ratios["Zstd"] <= ratios["LZ4"] {
+		t.Errorf("Zstd-like (%v) should out-compress LZ4 (%v)", ratios["Zstd"], ratios["LZ4"])
+	}
+}
+
+func TestCodecsRejectCorruption(t *testing.T) {
+	src := datagen.WikiXML(100000, 5)
+	for _, c := range All() {
+		comp, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncations must error, never panic.
+		for cut := 0; cut < len(comp); cut += 997 {
+			if got, err := c.Decompress(comp[:cut], len(src)); err == nil && bytes.Equal(got, src) {
+				t.Errorf("%s: truncation at %d decoded to original", c.Name(), cut)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"LZ4", "Snappy", "Zstd", "zlib"} {
+		c, err := ByName(want)
+		if err != nil || c.Name() != want {
+			t.Fatalf("ByName(%q) = %v, %v", want, c, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+func TestParallelRoundtrip(t *testing.T) {
+	src := datagen.WikiXML(5<<20, 6)
+	for _, c := range All() {
+		comp, err := CompressParallel(c, src, 1<<20, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got, err := DecompressParallel(c, comp, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("%s: parallel roundtrip mismatch", c.Name())
+		}
+	}
+}
+
+func TestParallelEdgeCases(t *testing.T) {
+	c := NewLZ4()
+	// Empty input.
+	comp, err := CompressParallel(c, nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressParallel(c, comp, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v, %d bytes", err, len(got))
+	}
+	// Exactly one block.
+	src := bytes.Repeat([]byte("x"), DefaultParallelBlockSize)
+	comp, err = CompressParallel(c, src, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecompressParallel(c, comp, 0)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("single-block roundtrip failed")
+	}
+	// Corrupt container.
+	if _, err := DecompressParallel(c, []byte("garbage!"), 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLZ4FormatDetails(t *testing.T) {
+	c := NewLZ4()
+	// Long literal run (extension bytes) and long match.
+	src := append(bytes.Repeat([]byte{1, 2, 3, 9, 8, 7, 11, 13}, 10),
+		bytes.Repeat([]byte{'z'}, 400)...)
+	src = append(src, bytes.Repeat([]byte{1, 2, 3, 9, 8, 7, 11, 13}, 40)...)
+	comp, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(comp, len(src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("format details roundtrip failed")
+	}
+	if len(comp) >= len(src) {
+		t.Fatalf("repetitive input did not compress: %d >= %d", len(comp), len(src))
+	}
+}
+
+func TestSnappyFormatDetails(t *testing.T) {
+	c := NewSnappy()
+	// >64-byte match forces multi-piece copies; >60-byte literal forces
+	// extended literal tags.
+	src := append(datagen.Random(100, 1), bytes.Repeat([]byte("abcd"), 100)...)
+	comp, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress(comp, len(src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatal("snappy details roundtrip failed")
+	}
+}
+
+func TestQuickAllCodecs(t *testing.T) {
+	codecs := All()
+	f := func(seed int64, pick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := codecs[int(pick)%len(codecs)]
+		n := rng.Intn(30000)
+		src := make([]byte, n)
+		for i := 0; i < n; {
+			if rng.Intn(2) == 0 {
+				b := byte(rng.Intn(5))
+				run := 1 + rng.Intn(80)
+				for j := 0; j < run && i < n; j++ {
+					src[i] = b
+					i++
+				}
+			} else {
+				src[i] = byte(rng.Intn(256))
+				i++
+			}
+		}
+		comp, err := c.Compress(src)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress(comp, len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := datagen.WikiXML(4<<20, 12)
+	for _, c := range All() {
+		comp, err := CompressParallel(c, src, DefaultParallelBlockSize, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, err := DecompressParallel(c, comp, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

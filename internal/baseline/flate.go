@@ -1,0 +1,59 @@
+package baseline
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Flate wraps the standard library DEFLATE implementation. DEFLATE is the
+// algorithm of zlib and gzip, so this codec is the reproduction's "zlib"
+// comparator (the paper: "zlib implements the DEFLATE scheme for the CPU").
+type Flate struct {
+	level int
+}
+
+// NewFlate returns a DEFLATE codec at the given compression level
+// (the paper's gzip figures use the default level, 6).
+func NewFlate(level int) *Flate {
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		level = flate.DefaultCompression
+	}
+	return &Flate{level: level}
+}
+
+// Name implements Codec.
+func (*Flate) Name() string { return "zlib" }
+
+// Compress implements Codec.
+func (f *Flate) Compress(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, f.level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress implements Codec.
+func (f *Flate) Decompress(comp []byte, rawLen int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(comp))
+	defer r.Close()
+	dst := make([]byte, 0, rawLen)
+	buf := bytes.NewBuffer(dst)
+	if _, err := io.Copy(buf, r); err != nil {
+		return nil, fmt.Errorf("baseline: flate: %w", err)
+	}
+	out := buf.Bytes()
+	if rawLen >= 0 && len(out) != rawLen {
+		return nil, fmt.Errorf("baseline: flate produced %d bytes, want %d", len(out), rawLen)
+	}
+	return out, nil
+}

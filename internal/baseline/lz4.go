@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// LZ4 implements the LZ4 block format (the codec the paper modified to
+// implement Dependency Elimination, §IV-B): sequences of
+//
+//	token (litLen high nibble, matchLen-4 low nibble, 15 ⇒ 255-run extension)
+//	[litLen extension] literals [2-byte LE offset] [matchLen extension]
+//
+// ending with a literals-only sequence. The compressor is the classic
+// single-entry hash-table greedy matcher.
+type LZ4 struct{}
+
+// NewLZ4 returns the LZ4 codec.
+func NewLZ4() *LZ4 { return &LZ4{} }
+
+// Name implements Codec.
+func (*LZ4) Name() string { return "LZ4" }
+
+const (
+	lz4MinMatch  = 4
+	lz4HashBits  = 14
+	lz4MaxOffset = 1<<16 - 1
+	// The reference implementation requires the last match to end at least
+	// 12 bytes before the block end; the tail is emitted as literals.
+	lz4TailLiterals = 12
+)
+
+var errLZ4Corrupt = errors.New("baseline: corrupt LZ4 block")
+
+func lz4Hash(v uint32) uint32 { return (v * 2654435761) >> (32 - lz4HashBits) }
+
+func le32(src []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(src[i:])
+}
+
+// Compress implements Codec.
+func (*LZ4) Compress(src []byte) ([]byte, error) {
+	dst := make([]byte, 0, len(src)+len(src)/255+16)
+	var table [1 << lz4HashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart := 0
+	pos := 0
+	limit := len(src) - lz4TailLiterals
+	for pos < limit {
+		h := lz4Hash(le32(src, pos))
+		cand := table[h]
+		table[h] = int32(pos)
+		if cand < 0 || pos-int(cand) > lz4MaxOffset || le32(src, int(cand)) != le32(src, pos) {
+			pos++
+			continue
+		}
+		// Extend the match, but leave the tail as literals.
+		c := int(cand)
+		mlen := 4
+		for pos+mlen < limit && src[c+mlen] == src[pos+mlen] {
+			mlen++
+		}
+		dst = appendLZ4Seq(dst, src[litStart:pos], pos-c, mlen)
+		pos += mlen
+		litStart = pos
+	}
+	// Final literals-only sequence.
+	lits := src[litStart:]
+	litLen := len(lits)
+	tok := byte(0)
+	if litLen >= 15 {
+		tok = 15 << 4
+	} else {
+		tok = byte(litLen) << 4
+	}
+	dst = append(dst, tok)
+	if litLen >= 15 {
+		dst = appendLZ4Ext(dst, litLen-15)
+	}
+	dst = append(dst, lits...)
+	return dst, nil
+}
+
+func appendLZ4Seq(dst, lits []byte, offset, mlen int) []byte {
+	litLen := len(lits)
+	ml := mlen - lz4MinMatch
+	tok := byte(0)
+	if litLen >= 15 {
+		tok = 15 << 4
+	} else {
+		tok = byte(litLen) << 4
+	}
+	if ml >= 15 {
+		tok |= 15
+	} else {
+		tok |= byte(ml)
+	}
+	dst = append(dst, tok)
+	if litLen >= 15 {
+		dst = appendLZ4Ext(dst, litLen-15)
+	}
+	dst = append(dst, lits...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(offset))
+	if ml >= 15 {
+		dst = appendLZ4Ext(dst, ml-15)
+	}
+	return dst
+}
+
+func appendLZ4Ext(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// Decompress implements Codec. This is the hot path the paper benchmarks;
+// it is written as the standard branchy byte-pushing LZ4 decoder.
+func (*LZ4) Decompress(comp []byte, rawLen int) ([]byte, error) {
+	dst := make([]byte, 0, rawLen)
+	i := 0
+	for i < len(comp) {
+		tok := comp[i]
+		i++
+		litLen := int(tok >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, i, err = readLZ4Ext(comp, i, 15)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if i+litLen > len(comp) {
+			return nil, fmt.Errorf("%w: literals overrun", errLZ4Corrupt)
+		}
+		dst = append(dst, comp[i:i+litLen]...)
+		i += litLen
+		if i == len(comp) {
+			break // final literals-only sequence
+		}
+		if i+2 > len(comp) {
+			return nil, fmt.Errorf("%w: truncated offset", errLZ4Corrupt)
+		}
+		offset := int(binary.LittleEndian.Uint16(comp[i:]))
+		i += 2
+		if offset == 0 || offset > len(dst) {
+			return nil, fmt.Errorf("%w: offset %d at output %d", errLZ4Corrupt, offset, len(dst))
+		}
+		mlen := int(tok & 15)
+		if mlen == 15 {
+			var err error
+			mlen, i, err = readLZ4Ext(comp, i, 15)
+			if err != nil {
+				return nil, err
+			}
+		}
+		mlen += lz4MinMatch
+		start := len(dst) - offset
+		for j := 0; j < mlen; j++ {
+			dst = append(dst, dst[start+j])
+		}
+	}
+	if rawLen >= 0 && len(dst) != rawLen {
+		return nil, fmt.Errorf("%w: produced %d bytes, want %d", errLZ4Corrupt, len(dst), rawLen)
+	}
+	return dst, nil
+}
+
+func readLZ4Ext(comp []byte, i, base int) (int, int, error) {
+	v := base
+	for {
+		if i >= len(comp) {
+			return 0, 0, fmt.Errorf("%w: truncated extension", errLZ4Corrupt)
+		}
+		b := comp[i]
+		i++
+		v += int(b)
+		if b != 255 {
+			return v, i, nil
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Snappy implements the Snappy block format: a varint uncompressed length
+// followed by elements tagged in their low two bits —
+//
+//	00 literal (length-1 in the upper 6 bits; 60..63 select 1..4 extra
+//	   little-endian length bytes)
+//	01 copy with 1-byte offset extension (length 4..11, 11-bit offset)
+//	10 copy with 2-byte offset (length 1..64)
+//	11 copy with 4-byte offset (length 1..64)
+//
+// The compressor mirrors the reference: single-entry hash table, greedy,
+// emitting tag-10 copies in ≤ 64-byte pieces.
+type Snappy struct{}
+
+// NewSnappy returns the Snappy codec.
+func NewSnappy() *Snappy { return &Snappy{} }
+
+// Name implements Codec.
+func (*Snappy) Name() string { return "Snappy" }
+
+var errSnappyCorrupt = errors.New("baseline: corrupt snappy block")
+
+const snappyHashBits = 14
+
+func snappyHash(v uint32) uint32 { return (v * 2654435761) >> (32 - snappyHashBits) }
+
+// Compress implements Codec.
+func (*Snappy) Compress(src []byte) ([]byte, error) {
+	dst := binary.AppendUvarint(nil, uint64(len(src)))
+	var table [1 << snappyHashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart, pos := 0, 0
+	for pos+4 <= len(src) {
+		h := snappyHash(le32(src, pos))
+		cand := table[h]
+		table[h] = int32(pos)
+		c := int(cand)
+		if cand < 0 || pos-c > 1<<16-1 || le32(src, c) != le32(src, pos) {
+			pos++
+			continue
+		}
+		offset := pos - c
+		mlen := 4
+		for pos+mlen < len(src) && src[c+mlen] == src[pos+mlen] {
+			mlen++
+		}
+		dst = appendSnappyLiteral(dst, src[litStart:pos])
+		// Tag-10 copies carry 1..64 bytes each; same-offset pieces continue
+		// the source run because offsets are relative to the output end.
+		for rem := mlen; rem > 0; {
+			piece := rem
+			if piece > 64 {
+				piece = 64
+			}
+			dst = append(dst, byte((piece-1)<<2|2))
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(offset))
+			rem -= piece
+		}
+		pos += mlen
+		litStart = pos
+	}
+	dst = appendSnappyLiteral(dst, src[litStart:])
+	return dst, nil
+}
+
+func appendSnappyLiteral(dst, lits []byte) []byte {
+	n := len(lits)
+	if n == 0 {
+		return dst
+	}
+	switch {
+	case n <= 60:
+		dst = append(dst, byte(n-1)<<2)
+	case n <= 1<<8:
+		dst = append(dst, 60<<2, byte(n-1))
+	case n <= 1<<16:
+		dst = append(dst, 61<<2, byte(n-1), byte((n-1)>>8))
+	case n <= 1<<24:
+		dst = append(dst, 62<<2, byte(n-1), byte((n-1)>>8), byte((n-1)>>16))
+	default:
+		dst = append(dst, 63<<2, byte(n-1), byte((n-1)>>8), byte((n-1)>>16), byte((n-1)>>24))
+	}
+	return append(dst, lits...)
+}
+
+// Decompress implements Codec.
+func (*Snappy) Decompress(comp []byte, rawLen int) ([]byte, error) {
+	declared, k := binary.Uvarint(comp)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad length varint", errSnappyCorrupt)
+	}
+	if rawLen >= 0 && declared != uint64(rawLen) {
+		return nil, fmt.Errorf("%w: declares %d bytes, want %d", errSnappyCorrupt, declared, rawLen)
+	}
+	i := k
+	dst := make([]byte, 0, declared)
+	for i < len(comp) {
+		tag := comp[i]
+		i++
+		switch tag & 3 {
+		case 0: // literal
+			n := int(tag>>2) + 1
+			if n > 60 {
+				extra := n - 60
+				if i+extra > len(comp) {
+					return nil, fmt.Errorf("%w: literal length overrun", errSnappyCorrupt)
+				}
+				n = 0
+				for b := extra - 1; b >= 0; b-- {
+					n = n<<8 | int(comp[i+b])
+				}
+				n++
+				i += extra
+			}
+			if i+n > len(comp) {
+				return nil, fmt.Errorf("%w: literal overrun", errSnappyCorrupt)
+			}
+			dst = append(dst, comp[i:i+n]...)
+			i += n
+		case 1: // copy, 1-byte offset extension
+			if i >= len(comp) {
+				return nil, fmt.Errorf("%w: truncated copy1", errSnappyCorrupt)
+			}
+			n := int(tag>>2)&7 + 4
+			offset := int(tag>>5)<<8 | int(comp[i])
+			i++
+			if err := snappyCopy(&dst, offset, n); err != nil {
+				return nil, err
+			}
+		case 2: // copy, 2-byte offset
+			if i+2 > len(comp) {
+				return nil, fmt.Errorf("%w: truncated copy2", errSnappyCorrupt)
+			}
+			n := int(tag>>2) + 1
+			offset := int(binary.LittleEndian.Uint16(comp[i:]))
+			i += 2
+			if err := snappyCopy(&dst, offset, n); err != nil {
+				return nil, err
+			}
+		default: // copy, 4-byte offset
+			if i+4 > len(comp) {
+				return nil, fmt.Errorf("%w: truncated copy4", errSnappyCorrupt)
+			}
+			n := int(tag>>2) + 1
+			offset := int(binary.LittleEndian.Uint32(comp[i:]))
+			i += 4
+			if err := snappyCopy(&dst, offset, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if uint64(len(dst)) != declared {
+		return nil, fmt.Errorf("%w: produced %d bytes, declared %d", errSnappyCorrupt, len(dst), declared)
+	}
+	return dst, nil
+}
+
+func snappyCopy(dst *[]byte, offset, n int) error {
+	d := *dst
+	if offset <= 0 || offset > len(d) {
+		return fmt.Errorf("%w: offset %d at output %d", errSnappyCorrupt, offset, len(d))
+	}
+	start := len(d) - offset
+	for j := 0; j < n; j++ {
+		d = append(d, d[start+j])
+	}
+	*dst = d
+	return nil
+}

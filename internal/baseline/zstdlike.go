@@ -1,0 +1,173 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gompresso/internal/ans"
+	"gompresso/internal/lz77"
+)
+
+// ZstdLike pairs an LZ77 parse with a tANS entropy stage, mirroring Zstd's
+// architecture (entropy-coded literals over an LZ layer). The paper includes
+// Zstd as "a different coding algorithm on top of LZ-compression that is
+// typically faster than Huffman decoding" (§V-D).
+//
+// Layout: varint rawLen | varint numSeqs | varint headerLen | sequence
+// headers (LZ4-style tokens without inline literals) | tANS-coded literal
+// stream.
+type ZstdLike struct {
+	window int
+}
+
+// NewZstdLike returns the codec with a 64 KB window (offsets must fit the
+// 2-byte field, so the window is one short of 64 Ki).
+func NewZstdLike() *ZstdLike { return &ZstdLike{window: 1<<16 - 1} }
+
+// Name implements Codec.
+func (*ZstdLike) Name() string { return "Zstd" }
+
+var errZstdCorrupt = errors.New("baseline: corrupt zstd-like block")
+
+// Compress implements Codec.
+func (z *ZstdLike) Compress(src []byte) ([]byte, error) {
+	ts, err := lz77.Parse(src, lz77.Options{
+		Window:   z.window,
+		MaxMatch: 1 << 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sequence headers: token byte (litLen nibble / matchLen nibble with
+	// 255-run extensions) + 2-byte offset, literals separated out.
+	var headers []byte
+	for _, s := range ts.Seqs {
+		litN, matchN := s.LitLen, s.MatchLen
+		ln, mn := litN, matchN
+		if ln > 14 {
+			ln = 15
+		}
+		if mn > 14 {
+			mn = 15
+		}
+		headers = append(headers, byte(ln)|byte(mn)<<4)
+		if ln == 15 {
+			headers = appendExt255(headers, litN-15)
+		}
+		if mn == 15 {
+			headers = appendExt255(headers, matchN-15)
+		}
+		if matchN > 0 {
+			headers = binary.LittleEndian.AppendUint16(headers, uint16(s.Offset))
+		}
+	}
+	lits := ans.Encode(ts.Literals)
+	out := binary.AppendUvarint(nil, uint64(len(src)))
+	out = binary.AppendUvarint(out, uint64(len(ts.Seqs)))
+	out = binary.AppendUvarint(out, uint64(len(headers)))
+	out = append(out, headers...)
+	out = append(out, lits...)
+	return out, nil
+}
+
+func appendExt255(dst []byte, v uint32) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// Decompress implements Codec.
+func (z *ZstdLike) Decompress(comp []byte, rawLen int) ([]byte, error) {
+	rl, k := binary.Uvarint(comp)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: raw length", errZstdCorrupt)
+	}
+	comp = comp[k:]
+	if rawLen >= 0 && rl != uint64(rawLen) {
+		return nil, fmt.Errorf("%w: declares %d, want %d", errZstdCorrupt, rl, rawLen)
+	}
+	numSeqs, k := binary.Uvarint(comp)
+	if k <= 0 || numSeqs > rl+1 {
+		return nil, fmt.Errorf("%w: sequence count", errZstdCorrupt)
+	}
+	comp = comp[k:]
+	headerLen, k := binary.Uvarint(comp)
+	if k <= 0 || headerLen > uint64(len(comp)-k) {
+		return nil, fmt.Errorf("%w: header length", errZstdCorrupt)
+	}
+	comp = comp[k:]
+	headers := comp[:headerLen]
+	lits, err := ans.Decode(comp[headerLen:])
+	if err != nil {
+		return nil, err
+	}
+
+	dst := make([]byte, 0, rl)
+	hi := 0
+	for s := uint64(0); s < numSeqs; s++ {
+		if hi >= len(headers) {
+			return nil, fmt.Errorf("%w: header overrun", errZstdCorrupt)
+		}
+		tok := headers[hi]
+		hi++
+		litLen := int(tok & 15)
+		matchLen := int(tok >> 4)
+		if litLen == 15 {
+			litLen, hi, err = readExt255(headers, hi, 15)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if matchLen == 15 {
+			matchLen, hi, err = readExt255(headers, hi, 15)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if litLen > len(lits) {
+			return nil, fmt.Errorf("%w: literal overrun", errZstdCorrupt)
+		}
+		dst = append(dst, lits[:litLen]...)
+		lits = lits[litLen:]
+		if matchLen == 0 {
+			continue
+		}
+		if hi+2 > len(headers) {
+			return nil, fmt.Errorf("%w: truncated offset", errZstdCorrupt)
+		}
+		offset := int(binary.LittleEndian.Uint16(headers[hi:]))
+		hi += 2
+		if offset == 0 || offset > len(dst) {
+			return nil, fmt.Errorf("%w: offset %d", errZstdCorrupt, offset)
+		}
+		start := len(dst) - offset
+		for j := 0; j < matchLen; j++ {
+			dst = append(dst, dst[start+j])
+		}
+	}
+	if hi != len(headers) || len(lits) != 0 {
+		return nil, fmt.Errorf("%w: trailing data", errZstdCorrupt)
+	}
+	if uint64(len(dst)) != rl {
+		return nil, fmt.Errorf("%w: produced %d, declared %d", errZstdCorrupt, len(dst), rl)
+	}
+	return dst, nil
+}
+
+func readExt255(b []byte, i, base int) (int, int, error) {
+	v := base
+	for {
+		if i >= len(b) {
+			return 0, 0, fmt.Errorf("%w: truncated extension", errZstdCorrupt)
+		}
+		x := b[i]
+		i++
+		v += int(x)
+		if x != 255 {
+			return v, i, nil
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package datagen
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"testing"
+
+	"gompresso/internal/lz77"
+)
+
+// gzipRatio compresses with stdlib DEFLATE at the default level (the paper
+// quotes gzip -6) and returns raw/compressed.
+func gzipRatio(t *testing.T, data []byte) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return float64(len(data)) / float64(buf.Len())
+}
+
+func TestWikiXMLRatio(t *testing.T) {
+	data := WikiXML(4<<20, 1)
+	if len(data) != 4<<20 {
+		t.Fatalf("size %d", len(data))
+	}
+	r := gzipRatio(t, data)
+	// Paper: gzip -6 compresses the Wikipedia dump 3.09:1.
+	if r < 2.4 || r > 3.9 {
+		t.Fatalf("WikiXML gzip ratio %.2f, want ≈ 3.1", r)
+	}
+	// Structure sanity.
+	if !bytes.Contains(data, []byte("<page>")) || !bytes.Contains(data, []byte("<title>")) {
+		t.Fatal("missing XML structure")
+	}
+}
+
+func TestMatrixMarketRatio(t *testing.T) {
+	data := MatrixMarket(4<<20, 1)
+	if len(data) != 4<<20 {
+		t.Fatalf("size %d", len(data))
+	}
+	r := gzipRatio(t, data)
+	// Paper: gzip -6 compresses hollywood-2009 4.99:1.
+	if r < 3.9 || r > 6.4 {
+		t.Fatalf("MatrixMarket gzip ratio %.2f, want ≈ 5.0", r)
+	}
+	if !bytes.HasPrefix(data, []byte("%%MatrixMarket")) {
+		t.Fatal("missing Matrix Market header")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	if !bytes.Equal(WikiXML(1<<20, 7), WikiXML(1<<20, 7)) {
+		t.Fatal("WikiXML not deterministic")
+	}
+	if bytes.Equal(WikiXML(1<<20, 7), WikiXML(1<<20, 8)) {
+		t.Fatal("WikiXML ignores seed")
+	}
+	if !bytes.Equal(MatrixMarket(1<<20, 7), MatrixMarket(1<<20, 7)) {
+		t.Fatal("MatrixMarket not deterministic")
+	}
+	if !bytes.Equal(Nesting(1<<20, 4, 7), Nesting(1<<20, 4, 7)) {
+		t.Fatal("Nesting not deterministic")
+	}
+}
+
+func TestNestingInducesDepth(t *testing.T) {
+	for _, families := range []int{1, 2, 4, 8, 16, 32} {
+		data := Nesting(512<<10, families, 3)
+		ts, err := lz77.Parse(data, lz77.Options{Window: NestingWindow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := lz77.AnalyzeMRR(ts, 32)
+		want := NestingDepthFor(families)
+		got := stats.AvgRounds()
+		// Allow slack for block-start literals and group misalignment.
+		lo, hi := float64(want)*0.55, float64(want)*1.45+2
+		if got < lo || got > hi {
+			t.Errorf("families=%d: avg rounds %.1f, designed depth %d", families, got, want)
+		}
+	}
+}
+
+func TestNestingMonotoneInDepth(t *testing.T) {
+	prev := 0.0
+	for _, families := range []int{32, 16, 8, 4, 2, 1} {
+		data := Nesting(256<<10, families, 5)
+		ts, err := lz77.Parse(data, lz77.Options{Window: NestingWindow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := lz77.AnalyzeMRR(ts, 32).AvgRounds()
+		if got < prev {
+			t.Fatalf("rounds not monotone: families=%d gives %.1f after %.1f", families, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestNestingCompressible(t *testing.T) {
+	data := Nesting(1<<20, 1, 9)
+	ts, err := lz77.Parse(data, lz77.Options{Window: NestingWindow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size := ts.CompressedSizeByte(); size > len(data)/2 {
+		t.Fatalf("nesting data should compress at least 2:1, got %d/%d", size, len(data))
+	}
+	out, err := ts.Decompress(nil)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatal("nesting roundtrip failed")
+	}
+}
+
+func TestRandomIncompressible(t *testing.T) {
+	data := Random(1<<20, 3)
+	if r := gzipRatio(t, data); r > 1.01 {
+		t.Fatalf("random data compressed %.3f:1", r)
+	}
+}
+
+func TestZerosAndRepeat(t *testing.T) {
+	if len(Zeros(100)) != 100 {
+		t.Fatal("zeros length")
+	}
+	rp := RepeatPhrase(100, "abc")
+	if len(rp) != 100 || rp[0] != 'a' || rp[3] != 'a' {
+		t.Fatal("repeat phrase")
+	}
+}
+
+func TestFlateRoundtripOnGenerated(t *testing.T) {
+	// The generated corpora must be valid inputs for real codecs.
+	data := WikiXML(1<<20, 2)
+	var buf bytes.Buffer
+	w, _ := flate.NewWriter(&buf, 6)
+	w.Write(data)
+	w.Close()
+	r := flate.NewReader(&buf)
+	out, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatal("flate roundtrip failed on WikiXML")
+	}
+}
+
+func BenchmarkWikiXML(b *testing.B) {
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		WikiXML(1<<20, uint64(i))
+	}
+}
+
+func BenchmarkMatrixMarket(b *testing.B) {
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		MatrixMarket(1<<20, uint64(i))
+	}
+}

@@ -1,0 +1,95 @@
+package datagen
+
+// Nesting implements the paper's artificial nesting-depth datasets (§V-A,
+// Fig. 10): a 16-byte string is repeated with a one-byte change alternating
+// between the first and last byte position, each instance preceded by a
+// separator drawn from a disjoint byte set so no accidental matches cross
+// instances.
+//
+// One repeated family produces a dependency chain through every instance:
+// all 32 sequences of a warp group depend on their predecessor → 32 MRR
+// rounds. Alternating k distinct families shortens each chain to 32/k
+// (paper: "two repeated strings result in depth 16, four repeated strings in
+// depth 8, and so on").
+//
+// Construction invariants (each prevents a chain short-circuit):
+//
+//   - Separators: 4 bytes in 0x80+, each byte c·mᵢ mod 61 for invertible
+//     multipliers mᵢ, so any byte-level separator coincidence requires two
+//     instances 61 apart (1220 bytes — outside NestingWindow).
+//   - Families: every even string position holds a per-family byte
+//     (0x20+f), so no 4-byte window of one family ever matches another.
+//   - Mutations: the changed byte cycles over 53 values in 0xC0+ per
+//     family; each position sees every other mutation, so the nearest
+//     same-position same-value repeat is 106·families instances
+//     (2120·families bytes) away — outside the window.
+//
+// Parse nesting data with Window = NestingWindow: large enough to reach the
+// previous instance of every family (32 families × 20 bytes = 640), small
+// enough to exclude all the coincidences above.
+func Nesting(n int, families int, seed uint64) []byte {
+	if families < 1 {
+		families = 1
+	}
+	if families > 32 {
+		families = 32
+	}
+	_ = seed // construction is fully deterministic; seed kept for API symmetry
+	const strLen = 16
+
+	cur := make([][]byte, families)
+	for f := range cur {
+		s := make([]byte, strLen)
+		for i := range s {
+			if i%2 == 0 {
+				s[i] = byte(0x20 + f) // family marker byte
+			} else {
+				s[i] = byte('A' + i%26)
+			}
+		}
+		cur[f] = s
+	}
+	mutCount := make([]int, families)
+
+	out := make([]byte, 0, n+64)
+	c := 0
+	f := 0
+	for len(out) < n {
+		// Separator: all four bytes change every instance; any repeat is 61
+		// instances away.
+		out = append(out,
+			0x80|byte((c*1)%61),
+			0x80|byte((c*2)%61),
+			0x80|byte((c*3)%61),
+			0x80|byte((c*5)%61))
+		c++
+
+		// Mutate one byte, alternating first/last (paper Fig. 10).
+		s := cur[f]
+		pos := 0
+		if mutCount[f]%2 == 1 {
+			pos = strLen - 1
+		}
+		s[pos] = 0xC0 | byte(mutCount[f]%53)
+		mutCount[f]++
+		out = append(out, s...)
+
+		f = (f + 1) % families
+	}
+	return out[:n]
+}
+
+// NestingWindow is the LZ77 window to use when parsing Nesting data; see
+// the Nesting doc comment.
+const NestingWindow = 1024
+
+// NestingDepthFor reports the designed nesting depth for a family count.
+func NestingDepthFor(families int) int {
+	if families < 1 {
+		families = 1
+	}
+	if families > 32 {
+		families = 32
+	}
+	return (32 + families - 1) / families
+}

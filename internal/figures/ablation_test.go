@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"testing"
+
+	"gompresso/internal/lz77"
+)
+
+func TestAblationStaleness(t *testing.T) {
+	rows, err := AblationStaleness(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 points, got %d", len(rows))
+	}
+	// Longer staleness keeps entries older, so the DE ratio loss must be no
+	// worse at 1K than at 64 (the paper's reason for choosing 1K).
+	loss := map[int]float64{}
+	for _, r := range rows {
+		if r.RatioDE <= 0 || r.RatioNoDE <= 0 {
+			t.Fatalf("bad ratios: %+v", r)
+		}
+		loss[r.Staleness] = r.RatioLossPct
+	}
+	if loss[1024] > loss[64]+1 {
+		t.Errorf("DE loss at staleness 1K (%.1f%%) worse than 64 (%.1f%%)", loss[1024], loss[64])
+	}
+}
+
+func TestAblationDEMode(t *testing.T) {
+	rows, err := AblationDEMode(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[lz77.DEMode]DEModeRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	// Unrestricted parse compresses best; DE decompresses fastest; DELit
+	// recovers some ratio over DEStrict.
+	if byMode[lz77.DEOff].Ratio < byMode[lz77.DEStrict].Ratio {
+		t.Errorf("DEOff ratio below DEStrict: %+v", rows)
+	}
+	if byMode[lz77.DELit].Ratio < byMode[lz77.DEStrict].Ratio-0.01 {
+		t.Errorf("DELit should not compress worse than DEStrict: %+v", rows)
+	}
+	if byMode[lz77.DEStrict].DevGBps <= byMode[lz77.DEOff].DevGBps {
+		t.Errorf("DE decompression not faster than MRR: %+v", rows)
+	}
+	if byMode[lz77.DEStrict].AvgRounds != 1 || byMode[lz77.DELit].AvgRounds != 1 {
+		t.Errorf("DE parses must resolve in one round: %+v", rows)
+	}
+}
+
+func TestAblationSubBlocks(t *testing.T) {
+	rows, err := AblationSubBlocks(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer sequences per sub-block → more sub-blocks → more header
+	// overhead: ratio must be monotone non-decreasing in seqs/sub.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Ratio < rows[i-1].Ratio-0.005 {
+			t.Errorf("ratio not improving with bigger sub-blocks: %+v", rows)
+		}
+	}
+}
+
+func TestAblationCWL(t *testing.T) {
+	rows, err := AblationCWL(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r8, r12 CWLRow
+	for _, r := range rows {
+		if r.CWL == 8 {
+			r8 = r
+		}
+		if r.CWL == 12 {
+			r12 = r
+		}
+	}
+	// Longer codes compress no worse...
+	if r12.Ratio < r8.Ratio-0.005 {
+		t.Errorf("CWL 12 ratio (%.3f) worse than CWL 8 (%.3f)", r12.Ratio, r8.Ratio)
+	}
+	// ...but bigger LUTs cannot increase decode occupancy.
+	if r12.WarpsPerSM > r8.WarpsPerSM {
+		t.Errorf("CWL 12 occupancy (%d) above CWL 8 (%d)", r12.WarpsPerSM, r8.WarpsPerSM)
+	}
+}

@@ -1,0 +1,85 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"gompresso/internal/lz77"
+)
+
+// Fig11Row is one dataset of paper Fig. 11: the cost of Dependency
+// Elimination on the compression side. The paper implemented DE inside LZ4
+// (single-entry hash table with the minimal-staleness policy, §IV-B), so
+// this experiment uses the same matcher configuration.
+type Fig11Row struct {
+	Dataset      string
+	RatioNoDE    float64
+	RatioDE      float64
+	SpeedNoDE    float64 // MB/s, host wall clock
+	SpeedDE      float64
+	RatioLossPct float64
+	SpeedLossPct float64
+}
+
+// Fig11 parses each dataset with and without DE and reports ratio and
+// compression speed (byte-level encoded size, as LZ4 would store it).
+func Fig11(cfg Config) ([]Fig11Row, error) {
+	cfg = cfg.withDefaults()
+	base := lz77.Options{
+		Staleness: lz77.DefaultStaleness, // LZ4-style single-entry matcher
+		Window:    1<<16 - 1,
+	}
+	var rows []Fig11Row
+	for _, ds := range Datasets(cfg) {
+		run := func(de lz77.DEMode) (ratio, mbps float64, err error) {
+			opts := base
+			opts.DE = de
+			start := time.Now()
+			ts, err := lz77.Parse(ds.Data, opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			secs := time.Since(start).Seconds()
+			size := ts.CompressedSizeByte()
+			return float64(len(ds.Data)) / float64(size),
+				float64(len(ds.Data)) / secs / 1e6, nil
+		}
+		rOff, sOff, err := run(lz77.DEOff)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s: %w", ds.Name, err)
+		}
+		rDE, sDE, err := run(lz77.DEStrict)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s: %w", ds.Name, err)
+		}
+		rows = append(rows, Fig11Row{
+			Dataset:      ds.Name,
+			RatioNoDE:    rOff,
+			RatioDE:      rDE,
+			SpeedNoDE:    sOff,
+			SpeedDE:      sDE,
+			RatioLossPct: 100 * (1 - rDE/rOff),
+			SpeedLossPct: 100 * (1 - sDE/sOff),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig11 formats the rows.
+func RenderFig11(rows []Fig11Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset,
+			fmt.Sprintf("%.2f", r.RatioNoDE),
+			fmt.Sprintf("%.2f", r.RatioDE),
+			fmt.Sprintf("%.1f%%", r.RatioLossPct),
+			fmt.Sprintf("%.0f", r.SpeedNoDE),
+			fmt.Sprintf("%.0f", r.SpeedDE),
+			fmt.Sprintf("%.1f%%", r.SpeedLossPct),
+		})
+	}
+	return "Fig 11 — Dependency Elimination cost (LZ4-style matcher; paper: ≤19% ratio, ≤13% speed)\n" +
+		table([]string{"dataset", "ratio w/o DE", "ratio w/ DE", "ratio loss",
+			"MB/s w/o DE", "MB/s w/ DE", "speed loss"}, cells)
+}

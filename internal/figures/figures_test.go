@@ -1,0 +1,206 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"gompresso/internal/kernels"
+)
+
+// Small datasets keep the suite fast; figure shapes must already hold at
+// this scale.
+func testConfig() Config { return Config{DataSize: 6 << 20, Seed: 1} }
+
+func TestFig9aShape(t *testing.T) {
+	rows, err := Fig9a(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows (2 datasets × 3 strategies), got %d", len(rows))
+	}
+	speed := map[string]map[kernels.Strategy]float64{}
+	for _, r := range rows {
+		if r.GBps <= 0 {
+			t.Fatalf("%+v: no speed", r)
+		}
+		if speed[r.Dataset] == nil {
+			speed[r.Dataset] = map[kernels.Strategy]float64{}
+		}
+		speed[r.Dataset][r.Strategy] = r.GBps
+	}
+	for name, s := range speed {
+		// Paper Fig. 9a: DE > MRR > SC, DE ≥ 5× SC.
+		if !(s[kernels.DE] > s[kernels.MRR] && s[kernels.MRR] > s[kernels.SC]) {
+			t.Errorf("%s: ordering violated: %+v", name, s)
+		}
+		if s[kernels.DE] < 5*s[kernels.SC] {
+			t.Errorf("%s: DE %.2f not ≥5× SC %.2f", name, s[kernels.DE], s[kernels.SC])
+		}
+	}
+	if !strings.Contains(RenderFig9a(rows), "MRR") {
+		t.Fatal("render missing strategy")
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	rows, err := Fig9b(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 9b: bytes per round fall steeply after round 1.
+	first := map[string]float64{}
+	for _, r := range rows {
+		if r.Round == 1 {
+			first[r.Dataset] = r.AvgBytes
+		}
+		if r.Round == 3 && r.AvgBytes > first[r.Dataset]/2 {
+			t.Errorf("%s: round 3 resolves %.0f bytes, round 1 %.0f — expected steep decay",
+				r.Dataset, r.AvgBytes, first[r.Dataset])
+		}
+	}
+	if len(first) != 2 {
+		t.Fatalf("expected both datasets, got %v", first)
+	}
+}
+
+func TestFig9cShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.DataSize = 4 << 20
+	rows, err := Fig9c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 depths, got %d", len(rows))
+	}
+	// Time must rise with designed depth (rows are ordered shallow→deep).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TimeMs < rows[i-1].TimeMs*0.95 {
+			t.Errorf("time not increasing with depth: %+v then %+v", rows[i-1], rows[i])
+		}
+	}
+	// Deepest should be several times the shallowest (paper: sharp rise).
+	if rows[len(rows)-1].TimeMs < 2.5*rows[0].TimeMs {
+		t.Errorf("depth-32 time %.2fms not ≫ depth-1 %.2fms",
+			rows[len(rows)-1].TimeMs, rows[0].TimeMs)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.RatioDE > r.RatioNoDE {
+			t.Errorf("%s: DE improved ratio?!", r.Dataset)
+		}
+		// Paper: ≤ 19 % ratio, ≤ 13 % speed degradation; allow headroom for
+		// the synthetic corpora and host variance.
+		if r.RatioLossPct > 30 {
+			t.Errorf("%s: ratio loss %.1f%% too large", r.Dataset, r.RatioLossPct)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 block sizes, got %d", len(rows))
+	}
+	// Paper Fig. 12: speed grows with block size; ratio roughly flat.
+	if rows[len(rows)-1].GBps <= rows[0].GBps {
+		t.Errorf("256KB (%.2f) not faster than 32KB (%.2f)",
+			rows[len(rows)-1].GBps, rows[0].GBps)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Ratio < rows[i-1].Ratio*0.97 {
+			t.Errorf("ratio degraded sharply across block sizes: %+v", rows)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows, err := Fig13(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := map[string]map[string]Fig13Row{}
+	for _, r := range rows {
+		if pts[r.Dataset] == nil {
+			pts[r.Dataset] = map[string]Fig13Row{}
+		}
+		pts[r.Dataset][r.System] = r
+	}
+	for name, p := range pts {
+		// Paper: Gompresso/Bit ≈ 2× zlib; Byte No-PCIe fastest of the
+		// Gompresso series; In/Out slowest of the Byte series.
+		if p["Gomp/Bit (In/Out)"].GBps < 1.4*p["zlib (CPU)"].GBps {
+			t.Errorf("%s: Bit (%.2f) not ≈2× zlib (%.2f)", name,
+				p["Gomp/Bit (In/Out)"].GBps, p["zlib (CPU)"].GBps)
+		}
+		if !(p["Gomp/Byte (No PCIe)"].GBps > p["Gomp/Byte (In)"].GBps &&
+			p["Gomp/Byte (In)"].GBps >= p["Gomp/Byte (In/Out)"].GBps) {
+			t.Errorf("%s: PCIe series ordering violated: %+v", name, p)
+		}
+		if p["Gomp/Bit (In/Out)"].Ratio <= p["Gomp/Byte (In/Out)"].Ratio {
+			t.Errorf("%s: Bit should out-compress Byte", name)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rows, err := Fig14(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := map[string]float64{}
+	for _, r := range rows {
+		if r.JoulesGB <= 0 {
+			t.Fatalf("%+v: no energy", r)
+		}
+		e[r.System] = r.JoulesGB
+	}
+	// Paper: Gompresso/Bit uses ~17 % less energy than parallel zlib.
+	if e["Gomp/Bit (In/Out)"] >= e["zlib (CPU)"] {
+		t.Errorf("Bit energy %.1f not below zlib %.1f", e["Gomp/Bit (In/Out)"], e["zlib (CPU)"])
+	}
+}
+
+func TestScalars(t *testing.T) {
+	rows, err := Scalars(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 12 {
+		t.Fatalf("expected ≥12 scalar claims, got %d", len(rows))
+	}
+	text := RenderScalars(rows)
+	for _, want := range []string{"gzip -6 ratio", "MRR rounds", "energy saving"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scalar table missing %q", want)
+		}
+	}
+}
+
+func TestMeasuredModeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured mode times real codecs")
+	}
+	cfg := testConfig()
+	cfg.Mode = Measured
+	cfg.DataSize = 2 << 20
+	rows, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.GBps <= 0 || r.Ratio <= 0 {
+			t.Fatalf("measured point %+v invalid", r)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package figures
+
+import (
+	"fmt"
+
+	"gompresso/internal/baseline"
+	"gompresso/internal/core"
+	"gompresso/internal/format"
+	"gompresso/internal/kernels"
+	"gompresso/internal/lz77"
+)
+
+// Scalar is one quoted result from the paper's text with its reproduced
+// value.
+type Scalar struct {
+	Name     string
+	Paper    string
+	Measured string
+}
+
+// Scalars reproduces every scalar claim in §V.
+func Scalars(cfg Config) ([]Scalar, error) {
+	cfg = cfg.withDefaults()
+	var out []Scalar
+	dss := Datasets(cfg)
+
+	// gzip -6 ratios of the two corpora.
+	fl := baseline.NewFlate(6)
+	for i, want := range []string{"3.09:1", "4.99:1"} {
+		comp, err := fl.Compress(dss[i].Data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Scalar{
+			Name:     fmt.Sprintf("gzip -6 ratio, %s", dss[i].Name),
+			Paper:    want,
+			Measured: fmt.Sprintf("%.2f:1", float64(len(dss[i].Data))/float64(len(comp))),
+		})
+	}
+
+	// Strategy speeds and MRR rounds.
+	f9a, err := Fig9a(cfg)
+	if err != nil {
+		return nil, err
+	}
+	speed := map[string]map[kernels.Strategy]float64{}
+	rounds := map[string]float64{}
+	for _, r := range f9a {
+		if speed[r.Dataset] == nil {
+			speed[r.Dataset] = map[kernels.Strategy]float64{}
+		}
+		speed[r.Dataset][r.Strategy] = r.GBps
+		if r.Strategy == kernels.MRR {
+			rounds[r.Dataset] = r.AvgRounds
+		}
+	}
+	out = append(out,
+		Scalar{"avg MRR rounds, Wikipedia", "≈ 3", fmt.Sprintf("%.1f", rounds["Wikipedia"])},
+		Scalar{"avg MRR rounds, Matrix", "≈ 4", fmt.Sprintf("%.1f", rounds["Matrix"])},
+	)
+	for _, name := range []string{"Wikipedia", "Matrix"} {
+		s := speed[name]
+		out = append(out,
+			Scalar{
+				Name:     fmt.Sprintf("DE speedup over SC, %s", name),
+				Paper:    "≥ 5×",
+				Measured: fmt.Sprintf("%.1f×", s[kernels.DE]/s[kernels.SC]),
+			},
+			Scalar{
+				Name:     fmt.Sprintf("DE speedup over MRR, %s", name),
+				Paper:    "2–3×",
+				Measured: fmt.Sprintf("%.1f×", s[kernels.DE]/s[kernels.MRR]),
+			},
+		)
+	}
+
+	// Cross-library speedups from Fig. 13.
+	f13, err := Fig13(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := map[string]map[string]Fig13Row{}
+	for _, r := range f13 {
+		if pts[r.Dataset] == nil {
+			pts[r.Dataset] = map[string]Fig13Row{}
+		}
+		pts[r.Dataset][r.System] = r
+	}
+	for _, name := range []string{"Wikipedia", "Matrix"} {
+		p := pts[name]
+		out = append(out, Scalar{
+			Name:     fmt.Sprintf("Gompresso/Bit vs parallel zlib, %s", name),
+			Paper:    "≈ 2×",
+			Measured: fmt.Sprintf("%.1f×", p["Gomp/Bit (In/Out)"].GBps/p["zlib (CPU)"].GBps),
+		})
+	}
+	wiki := pts["Wikipedia"]
+	out = append(out, Scalar{
+		Name:     "Gompresso/Byte (In) vs parallel LZ4, Wikipedia",
+		Paper:    "≈ 1.35×",
+		Measured: fmt.Sprintf("%.2f×", wiki["Gomp/Byte (In)"].GBps/wiki["LZ4 (CPU)"].GBps),
+	})
+
+	// DE compression-side costs from Fig. 11.
+	f11, err := Fig11(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxRatioLoss, maxSpeedLoss := 0.0, 0.0
+	for _, r := range f11 {
+		if r.RatioLossPct > maxRatioLoss {
+			maxRatioLoss = r.RatioLossPct
+		}
+		if r.SpeedLossPct > maxSpeedLoss {
+			maxSpeedLoss = r.SpeedLossPct
+		}
+	}
+	out = append(out,
+		Scalar{"max DE compression-ratio degradation", "19 %", fmt.Sprintf("%.1f %%", maxRatioLoss)},
+		Scalar{"max DE compression-speed degradation", "13 %", fmt.Sprintf("%.1f %%", maxSpeedLoss)},
+	)
+
+	// Limited-length Huffman cost: CWL 10 vs unconstrained (15).
+	wikiData := dss[0].Data
+	ratioAt := func(cwl int) (float64, error) {
+		_, cs, err := core.Compress(wikiData, core.Options{
+			Variant: format.VariantBit, DE: lz77.DEStrict, CWL: cwl, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return cs.Ratio, nil
+	}
+	r10, err := ratioAt(10)
+	if err != nil {
+		return nil, err
+	}
+	r15, err := ratioAt(15)
+	if err != nil {
+		return nil, err
+	}
+	zl := pts["Wikipedia"]["zlib (CPU)"].Ratio
+	out = append(out,
+		Scalar{
+			Name:     "limited-length Huffman (CWL 10 vs 15) ratio cost, Wikipedia",
+			Paper:    "part of the ≈9 % gap to zlib",
+			Measured: fmt.Sprintf("%.1f %%", 100*(1-r10/r15)),
+		},
+		Scalar{
+			Name:     "Gompresso/Bit ratio vs zlib ratio, Wikipedia",
+			Paper:    "≈ 9 % lower",
+			Measured: fmt.Sprintf("%.1f %% lower (%.2f vs %.2f)", 100*(1-r10/zl), r10, zl),
+		},
+	)
+
+	// Energy saving from Fig. 14.
+	f14, err := Fig14(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var eBit, eZlib float64
+	for _, r := range f14 {
+		switch r.System {
+		case "Gomp/Bit (In/Out)":
+			eBit = r.JoulesGB
+		case "zlib (CPU)":
+			eZlib = r.JoulesGB
+		}
+	}
+	if eZlib > 0 {
+		out = append(out, Scalar{
+			Name:     "Gompresso/Bit energy saving vs parallel zlib",
+			Paper:    "17 %",
+			Measured: fmt.Sprintf("%.0f %%", 100*(1-eBit/eZlib)),
+		})
+	}
+	return out, nil
+}
+
+// RenderScalars formats the scalar table.
+func RenderScalars(rows []Scalar) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Name, r.Paper, r.Measured})
+	}
+	return "Quoted scalar results (§V)\n" +
+		table([]string{"quantity", "paper", "reproduced"}, cells)
+}

@@ -1,0 +1,261 @@
+package format
+
+import (
+	"fmt"
+
+	"gompresso/internal/bitio"
+	"gompresso/internal/huffman"
+	"gompresso/internal/lz77"
+)
+
+// BitBlock is the encoded form of one Gompresso/Bit data block: two
+// canonical trees (paper Fig. 3: literal tree and match-distance tree), the
+// per-sub-block size list that lets decoder lanes seek independently, and
+// the concatenated sub-block bitstreams.
+type BitBlock struct {
+	LitLenLengths []uint8 // LitLenSyms code lengths (0 = unused symbol)
+	OffLengths    []uint8 // OffSyms code lengths; all-zero if the block has no matches
+	SubBits       []int64 // compressed size in bits of each sub-block
+	SubLits       []int32 // literal bytes produced by each sub-block (format extension: lets decode lanes write literals at exact offsets)
+	Payload       []byte
+	NumSeqs       int
+	SeqsPerSub    int
+}
+
+// DefaultSeqsPerSub is the paper's sub-block granularity (§V: "we split the
+// sequence stream into sub-blocks that are 16 sequences long").
+const DefaultSeqsPerSub = 16
+
+// EncodeBit Huffman-encodes a token stream into sub-blocks of seqsPerSub
+// sequences, with codeword lengths limited to cwl bits.
+func EncodeBit(ts *lz77.TokenStream, cwl, seqsPerSub int) (*BitBlock, error) {
+	if cwl <= 0 {
+		cwl = huffman.DefaultCWL
+	}
+	if seqsPerSub <= 0 {
+		seqsPerSub = DefaultSeqsPerSub
+	}
+	// Histogram pass.
+	litLenFreq := make([]int64, LitLenSyms)
+	offFreq := make([]int64, OffSyms)
+	lit := ts.Literals
+	hasMatches := false
+	for i := range ts.Seqs {
+		s := ts.Seqs[i]
+		if s.MatchLen > uint32(MaxLenValue) {
+			return nil, fmt.Errorf("format: match length %d exceeds bit-encoding maximum", s.MatchLen)
+		}
+		if int(s.LitLen) > len(lit) {
+			return nil, fmt.Errorf("format: seq %d literal overrun", i)
+		}
+		for _, b := range lit[:s.LitLen] {
+			litLenFreq[b]++
+		}
+		lit = lit[s.LitLen:]
+		sym, _, _ := LenSym(s.MatchLen)
+		litLenFreq[sym]++
+		if s.MatchLen > 0 {
+			if s.Offset == 0 || s.Offset > uint32(MaxOffValue) {
+				return nil, fmt.Errorf("format: seq %d offset %d out of range", i, s.Offset)
+			}
+			osym, _, _ := OffSym(s.Offset)
+			offFreq[osym]++
+			hasMatches = true
+		}
+	}
+	if len(lit) != 0 {
+		return nil, fmt.Errorf("format: %d literal bytes not covered by sequences", len(lit))
+	}
+
+	litEnc, litLengths, err := huffman.NewEncoder(litLenFreq, cwl)
+	if err != nil {
+		return nil, fmt.Errorf("format: literal/length tree: %w", err)
+	}
+	var offEnc *huffman.Encoder
+	offLengths := make([]uint8, OffSyms)
+	if hasMatches {
+		offEnc, offLengths, err = huffman.NewEncoder(offFreq, cwl)
+		if err != nil {
+			return nil, fmt.Errorf("format: offset tree: %w", err)
+		}
+	}
+
+	// Encoding pass, recording per-sub-block bit sizes and literal counts.
+	blk := &BitBlock{
+		LitLenLengths: litLengths,
+		OffLengths:    offLengths,
+		NumSeqs:       len(ts.Seqs),
+		SeqsPerSub:    seqsPerSub,
+	}
+	w := bitio.NewWriter(len(ts.Literals))
+	lit = ts.Literals
+	for base := 0; base < len(ts.Seqs); base += seqsPerSub {
+		end := base + seqsPerSub
+		if end > len(ts.Seqs) {
+			end = len(ts.Seqs)
+		}
+		startBits := w.BitLen()
+		var subLits int32
+		for _, s := range ts.Seqs[base:end] {
+			for _, b := range lit[:s.LitLen] {
+				litEnc.Encode(w, int(b))
+			}
+			lit = lit[s.LitLen:]
+			subLits += int32(s.LitLen)
+			sym, eb, extra := LenSym(s.MatchLen)
+			litEnc.Encode(w, sym)
+			if eb > 0 {
+				w.WriteBits(uint64(extra), eb)
+			}
+			if s.MatchLen > 0 {
+				osym, oeb, oextra := OffSym(s.Offset)
+				offEnc.Encode(w, osym)
+				if oeb > 0 {
+					w.WriteBits(uint64(oextra), oeb)
+				}
+			}
+		}
+		blk.SubBits = append(blk.SubBits, w.BitLen()-startBits)
+		blk.SubLits = append(blk.SubLits, subLits)
+	}
+	blk.Payload = w.Bytes()
+	return blk, nil
+}
+
+// SubDecodeStats reports the work one sub-block decode performed, for the
+// kernel cost model.
+type SubDecodeStats struct {
+	Symbols   int // Huffman table lookups
+	ExtraBits int // extra-bit reads
+}
+
+// DecodeSubBlock decodes nSeqs sequences from the bitstream window
+// [bitOff, bitOff+bitLen) of payload. Literals are appended to lits; the
+// sequences are appended to seqs. Both slices are returned.
+func DecodeSubBlock(payload []byte, bitOff, bitLen int64, litDec, offDec *huffman.Decoder,
+	nSeqs int, lits []byte, seqs []lz77.Seq) ([]byte, []lz77.Seq, SubDecodeStats, error) {
+
+	var st SubDecodeStats
+	r, err := bitio.NewReaderAtBit(payload, bitOff, bitLen)
+	if err != nil {
+		return lits, seqs, st, fmt.Errorf("format: sub-block window: %w", err)
+	}
+	for n := 0; n < nSeqs; n++ {
+		var s lz77.Seq
+		for {
+			sym, err := litDec.Decode(r)
+			if err != nil {
+				return lits, seqs, st, fmt.Errorf("format: literal/length decode: %w", err)
+			}
+			st.Symbols++
+			if IsLiteralSym(sym) {
+				lits = append(lits, byte(sym))
+				s.LitLen++
+				continue
+			}
+			base, eb, ok := LenVal(sym)
+			if !ok {
+				return lits, seqs, st, fmt.Errorf("format: bad length symbol %d", sym)
+			}
+			s.MatchLen = base
+			if eb > 0 {
+				extra, err := r.ReadBits(eb)
+				if err != nil {
+					return lits, seqs, st, fmt.Errorf("format: length extra bits: %w", err)
+				}
+				st.ExtraBits += int(eb)
+				s.MatchLen += uint32(extra)
+			}
+			break
+		}
+		if s.MatchLen > 0 {
+			if offDec == nil {
+				return lits, seqs, st, fmt.Errorf("format: match present but block has no offset tree")
+			}
+			osym, err := offDec.Decode(r)
+			if err != nil {
+				return lits, seqs, st, fmt.Errorf("format: offset decode: %w", err)
+			}
+			st.Symbols++
+			base, eb, ok := OffVal(osym)
+			if !ok {
+				return lits, seqs, st, fmt.Errorf("format: bad offset symbol %d", osym)
+			}
+			s.Offset = base
+			if eb > 0 {
+				extra, err := r.ReadBits(eb)
+				if err != nil {
+					return lits, seqs, st, fmt.Errorf("format: offset extra bits: %w", err)
+				}
+				st.ExtraBits += int(eb)
+				s.Offset += uint32(extra)
+			}
+		}
+		seqs = append(seqs, s)
+	}
+	return lits, seqs, st, nil
+}
+
+// Decoders builds the block's two LUT decoders from its code-length arrays.
+// offDec is nil when the block contains no matches (all-zero offset tree).
+func (b *BitBlock) Decoders() (litDec, offDec *huffman.Decoder, err error) {
+	litDec, err = huffman.NewDecoder(b.LitLenLengths, maxTreeBits(b.LitLenLengths))
+	if err != nil {
+		return nil, nil, fmt.Errorf("format: literal/length tree: %w", err)
+	}
+	if anyNonZero(b.OffLengths) {
+		offDec, err = huffman.NewDecoder(b.OffLengths, maxTreeBits(b.OffLengths))
+		if err != nil {
+			return nil, nil, fmt.Errorf("format: offset tree: %w", err)
+		}
+	}
+	return litDec, offDec, nil
+}
+
+// DecodeBit decodes an entire BitBlock sequentially (host reference path).
+func (b *BitBlock) DecodeBit(rawLen int) (*lz77.TokenStream, error) {
+	litDec, offDec, err := b.Decoders()
+	if err != nil {
+		return nil, err
+	}
+	ts := &lz77.TokenStream{RawLen: rawLen}
+	bitOff := int64(0)
+	remaining := b.NumSeqs
+	for i, bl := range b.SubBits {
+		n := b.SeqsPerSub
+		if n > remaining {
+			n = remaining
+		}
+		ts.Literals, ts.Seqs, _, err = DecodeSubBlock(b.Payload, bitOff, bl, litDec, offDec, n, ts.Literals, ts.Seqs)
+		if err != nil {
+			return nil, fmt.Errorf("format: sub-block %d: %w", i, err)
+		}
+		bitOff += bl
+		remaining -= n
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("format: %d sequences missing from sub-blocks", remaining)
+	}
+	return ts, nil
+}
+
+// maxTreeBits returns the table width needed for a code-length array: the
+// largest length present (the encoder's CWL bound).
+func maxTreeBits(lengths []uint8) int {
+	m := 1
+	for _, l := range lengths {
+		if int(l) > m {
+			m = int(l)
+		}
+	}
+	return m
+}
+
+func anyNonZero(lengths []uint8) bool {
+	for _, l := range lengths {
+		if l != 0 {
+			return true
+		}
+	}
+	return false
+}

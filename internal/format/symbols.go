@@ -1,0 +1,85 @@
+// Package format defines the Gompresso on-disk format (paper Fig. 3) and the
+// two block payload encodings:
+//
+//   - Byte: LZ4-style byte-aligned sequences (Gompresso/Byte),
+//   - Bit: Huffman-coded sequences with two canonical trees per block and
+//     fixed-sequence-count sub-blocks for parallel decoding (Gompresso/Bit).
+package format
+
+import "math/bits"
+
+// Bit-variant symbol spaces. Following DEFLATE (and the paper §III-A), one
+// tree covers literals and match lengths — literal bytes are symbols 0..255
+// and length symbols terminate a literal run — while a second tree covers
+// match offsets. Values too large for a direct symbol use exponential
+// buckets with extra bits, like DEFLATE's length/distance codes.
+
+const (
+	// LitLenSyms is the literal/length alphabet size: 256 literals, 8 direct
+	// length symbols (lengths 0–7, 0 = sequence with no match), and 14
+	// bucket symbols covering lengths up to 2^17-1.
+	LitLenSyms = 256 + 8 + 14
+	// OffSyms is the offset alphabet: 7 direct symbols (offsets 1–7) and 18
+	// buckets covering offsets up to 2^20, the window ceiling.
+	OffSyms = 7 + 18
+
+	lenSymBase  = 256 // length symbol for value v<8 is lenSymBase+v
+	lenBucket0  = 264 // first bucketed length symbol (e = 1)
+	offBucket0  = 7   // first bucketed offset symbol (e = 1)
+	MaxLenValue = 1<<17 - 1
+	MaxOffValue = 1 << 20
+	maxLenExtra = 16
+	maxOffExtra = 20
+)
+
+// LenSym maps a match length (0 = null sequence) to its symbol, the number
+// of extra bits, and the extra-bit payload.
+func LenSym(v uint32) (sym int, extraBits uint, extra uint32) {
+	if v < 8 {
+		return lenSymBase + int(v), 0, 0
+	}
+	e := bits.Len32(v) - 3 // v in [2^(e+2), 2^(e+3))
+	base := uint32(1) << (e + 2)
+	return lenBucket0 + e - 1, uint(e + 2), v - base
+}
+
+// LenVal inverts LenSym: given a decoded symbol it reports the value base
+// and how many extra bits the decoder must read. ok is false for literal
+// symbols (< 256) or out-of-range symbols.
+func LenVal(sym int) (base uint32, extraBits uint, ok bool) {
+	switch {
+	case sym < lenSymBase || sym >= LitLenSyms:
+		return 0, 0, false
+	case sym < lenBucket0:
+		return uint32(sym - lenSymBase), 0, true
+	default:
+		e := sym - lenBucket0 + 1
+		return 1 << (e + 2), uint(e + 2), true
+	}
+}
+
+// OffSym maps a match offset (≥ 1) to symbol, extra bits and payload.
+func OffSym(v uint32) (sym int, extraBits uint, extra uint32) {
+	if v < 8 {
+		return int(v) - 1, 0, 0
+	}
+	e := bits.Len32(v) - 3
+	base := uint32(1) << (e + 2)
+	return offBucket0 + e - 1, uint(e + 2), v - base
+}
+
+// OffVal inverts OffSym.
+func OffVal(sym int) (base uint32, extraBits uint, ok bool) {
+	switch {
+	case sym < 0 || sym >= OffSyms:
+		return 0, 0, false
+	case sym < offBucket0:
+		return uint32(sym + 1), 0, true
+	default:
+		e := sym - offBucket0 + 1
+		return 1 << (e + 2), uint(e + 2), true
+	}
+}
+
+// IsLiteralSym reports whether a literal/length-tree symbol is a literal byte.
+func IsLiteralSym(sym int) bool { return sym >= 0 && sym < 256 }

@@ -1,0 +1,126 @@
+// Package gpu is a deterministic warp-level SIMD simulator standing in for
+// the CUDA device of the paper. Go has no GPU ecosystem, and a plain
+// goroutine port would miss the contribution: Gompresso's decompression
+// algorithms are *warp-synchronous* — they are expressed in terms of 32
+// lanes executing in lock-step and coordinating through warp voting
+// (ballot) and register shuffling (shfl), not through shared memory and
+// locks (paper §II-B, §III-B2).
+//
+// The simulator provides:
+//
+//   - Warp: 32-lane lock-step execution context with ballot/shfl/scan
+//     primitives and cost accounting (instruction slots, global-memory
+//     traffic, shared-memory traffic, divergence).
+//   - Device.Launch: schedules one-warp thread-groups over streaming
+//     multiprocessors with occupancy limited by per-group shared memory —
+//     the mechanism by which Huffman LUT footprints throttle parallelism in
+//     paper Fig. 12.
+//   - A roofline timing model calibrated to the paper's Tesla K40 that turns
+//     the aggregated counters into simulated kernel time.
+//
+// Kernels run as real Go code (bit-exact outputs, real goroutine
+// parallelism across warps); only *time* is modeled.
+package gpu
+
+import "fmt"
+
+// WarpSize is the number of lanes per warp. CUDA fixes this at 32 and the
+// paper's algorithms (32-bit ballot masks, groups of 32 sequences) assume it.
+const WarpSize = 32
+
+// Spec describes a simulated device.
+type Spec struct {
+	Name string
+
+	SMs            int // streaming multiprocessors
+	MaxWarpsPerSM  int // resident warp limit per SM
+	MaxBlocksPerSM int // resident thread-group limit per SM
+	SharedMemPerSM int // bytes of on-chip shared memory per SM
+
+	ClockHz          float64 // SM clock
+	IssuePerSMCycle  int     // warp instructions issued per SM per cycle
+	LatencyHideWarps int     // resident warps needed to hide memory latency
+
+	GlobalMemBW float64 // device memory bandwidth, bytes/s (ECC on)
+	PCIeBW      float64 // host↔device bandwidth, bytes/s (measured, §V-D)
+	PCIeLatency float64 // per-transfer latency, seconds
+
+	LaunchOverhead float64 // per-kernel-launch overhead, seconds
+}
+
+// TeslaK40 returns the paper's evaluation device (§V): 2880 CUDA cores in 15
+// SMs (GK110B), 48 KB shared memory per SM, ECC enabled, PCIe 3.0 x16 with a
+// measured 13 GB/s (paper §V-D: "we were able to achieve a PCIe peak
+// bandwidth of 13 GB/sec").
+func TeslaK40() Spec {
+	return Spec{
+		Name:             "Tesla K40 (simulated)",
+		SMs:              15,
+		MaxWarpsPerSM:    64,
+		MaxBlocksPerSM:   16,
+		SharedMemPerSM:   48 << 10,
+		ClockHz:          745e6,
+		IssuePerSMCycle:  4, // 4 warp schedulers per SMX
+		LatencyHideWarps: 48,
+		GlobalMemBW:      220e9, // 288 GB/s nominal, derated for ECC
+		PCIeBW:           13e9,
+		PCIeLatency:      10e-6,
+		LaunchOverhead:   8e-6,
+	}
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.SMs <= 0:
+		return fmt.Errorf("gpu: spec %q: SMs = %d", s.Name, s.SMs)
+	case s.MaxWarpsPerSM <= 0 || s.MaxBlocksPerSM <= 0:
+		return fmt.Errorf("gpu: spec %q: resident limits not positive", s.Name)
+	case s.SharedMemPerSM < 0:
+		return fmt.Errorf("gpu: spec %q: negative shared memory", s.Name)
+	case s.ClockHz <= 0 || s.IssuePerSMCycle <= 0:
+		return fmt.Errorf("gpu: spec %q: clock/issue not positive", s.Name)
+	case s.GlobalMemBW <= 0 || s.PCIeBW <= 0:
+		return fmt.Errorf("gpu: spec %q: bandwidths not positive", s.Name)
+	case s.LatencyHideWarps <= 0:
+		return fmt.Errorf("gpu: spec %q: LatencyHideWarps not positive", s.Name)
+	}
+	return nil
+}
+
+// OccupantWarpsPerSM computes how many warps can be resident on one SM for
+// thread-groups of warpsPerGroup warps that each occupy sharedMemPerGroup
+// bytes of on-chip memory. This is the paper's Fig. 12 constraint: "the
+// space required by the Huffman decoding tables in the processors' on-chip
+// memory limits the number of data blocks that can be decoded concurrently
+// on a single GPU processor."
+func (s Spec) OccupantWarpsPerSM(sharedMemPerGroup, warpsPerGroup int) int {
+	if warpsPerGroup < 1 {
+		warpsPerGroup = 1
+	}
+	groups := s.MaxBlocksPerSM
+	if sharedMemPerGroup > 0 {
+		if bySmem := s.SharedMemPerSM / sharedMemPerGroup; bySmem < groups {
+			groups = bySmem
+		}
+	}
+	if byWarps := s.MaxWarpsPerSM / warpsPerGroup; byWarps < groups {
+		groups = byWarps
+	}
+	if groups < 0 {
+		groups = 0
+	}
+	warps := groups * warpsPerGroup
+	if warps > s.MaxWarpsPerSM {
+		warps = s.MaxWarpsPerSM
+	}
+	return warps
+}
+
+// PCIeTime models a host↔device transfer of n bytes.
+func (s Spec) PCIeTime(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return s.PCIeLatency + float64(n)/s.PCIeBW
+}

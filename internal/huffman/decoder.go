@@ -1,0 +1,78 @@
+package huffman
+
+import (
+	"fmt"
+
+	"gompresso/internal/bitio"
+)
+
+// Decoder is a single-lookup table decoder: the table has 2^tableBits
+// entries, each mapping a window of upcoming stream bits directly to
+// (symbol, codeLen). This mirrors the paper's on-chip decode tables
+// (§III-B1): one lookup per symbol, no tree walking and thus no divergent
+// branches on the GPU.
+type Decoder struct {
+	tableBits uint8
+	syms      []uint16 // indexed by the next tableBits bits of the stream
+	lens      []uint8
+}
+
+// TableEntries reports the LUT size, 2^tableBits. The paper's shared-memory
+// budget arithmetic (two tables of 2^CWL entries per data block) uses this.
+func (d *Decoder) TableEntries() int { return 1 << d.tableBits }
+
+// TableBytes reports the LUT size in bytes assuming 4-byte entries, matching
+// the shared-memory footprint used for occupancy modeling.
+func (d *Decoder) TableBytes() int { return d.TableEntries() * 4 }
+
+// NewDecoder builds the LUT from a code-length array. tableBits must be ≥ the
+// longest code length (Gompresso guarantees this by limiting CWL).
+func NewDecoder(lengths []uint8, tableBits int) (*Decoder, error) {
+	if err := ValidateLengths(lengths, tableBits); err != nil {
+		return nil, err
+	}
+	codes, err := CanonicalCodes(lengths, tableBits)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decoder{
+		tableBits: uint8(tableBits),
+		syms:      make([]uint16, 1<<tableBits),
+		lens:      make([]uint8, 1<<tableBits),
+	}
+	for s, c := range codes {
+		if c.Len == 0 {
+			continue
+		}
+		// c.Bits is already bit-reversed: it is the value of the code as it
+		// appears in the low bits of an LSB-first peek. Every table index
+		// whose low c.Len bits equal c.Bits decodes to s.
+		step := 1 << c.Len
+		for idx := int(c.Bits); idx < 1<<tableBits; idx += step {
+			d.syms[idx] = uint16(s)
+			d.lens[idx] = c.Len
+		}
+	}
+	return d, nil
+}
+
+// Decode consumes one symbol from r.
+func (d *Decoder) Decode(r *bitio.Reader) (int, error) {
+	peek := r.Peek(uint(d.tableBits))
+	l := d.lens[peek]
+	if l == 0 {
+		return 0, fmt.Errorf("huffman: invalid code at bit %d", r.BitsRead())
+	}
+	if err := r.Skip(uint(l)); err != nil {
+		return 0, err
+	}
+	return int(d.syms[peek]), nil
+}
+
+// Lookup maps a peeked bit window to (symbol, codeLen) without touching a
+// reader. codeLen 0 means the window does not start a valid code. Kernels use
+// this form so they can charge simulated costs around it.
+func (d *Decoder) Lookup(window uint64) (sym int, codeLen uint8) {
+	idx := window & uint64(1<<d.tableBits-1)
+	return int(d.syms[idx]), d.lens[idx]
+}

@@ -1,0 +1,255 @@
+// Package huffman implements canonical, length-limited Huffman coding as used
+// by Gompresso/Bit (paper §III-B1, §V-C).
+//
+// Code lengths are produced by the package-merge algorithm, which yields an
+// optimal prefix code under a maximum codeword length constraint. Gompresso
+// limits the codeword length (CWL) to 10 bits so that a full 2^CWL-entry
+// decode table fits in the GPU's on-chip memory; the same limit is the
+// default here. Codes are assigned canonically (by length, then symbol), so a
+// tree is fully described by its code-length array — the representation
+// stored in block headers.
+//
+// The bitstream convention matches DEFLATE: codes are emitted starting with
+// their most-significant bit, into an LSB-first bit writer, which is achieved
+// by bit-reversing each code once at table-build time.
+package huffman
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MaxCodeLen is the largest supported codeword length. Serialization packs
+// one length per nibble, so 15 is the ceiling; Gompresso uses 10.
+const MaxCodeLen = 15
+
+// DefaultCWL is the paper's limited codeword length (§V-C: CWL = 10 bits,
+// chosen so the 2^CWL-entry LUTs fit in on-chip memory).
+const DefaultCWL = 10
+
+var (
+	// ErrEmptyAlphabet is returned when no symbol has a nonzero frequency.
+	ErrEmptyAlphabet = errors.New("huffman: no symbols with nonzero frequency")
+	// ErrBadLengths is returned when a code-length array violates the Kraft
+	// inequality or exceeds the length limit.
+	ErrBadLengths = errors.New("huffman: invalid code length array")
+)
+
+// BuildLengths computes optimal length-limited code lengths for the given
+// symbol frequencies using package-merge. Symbols with zero frequency get
+// length 0 (no code). maxLen must be in [1, MaxCodeLen] and large enough for
+// the number of used symbols (2^maxLen ≥ used).
+func BuildLengths(freqs []int64, maxLen int) ([]uint8, error) {
+	if maxLen < 1 || maxLen > MaxCodeLen {
+		return nil, fmt.Errorf("huffman: maxLen %d out of range", maxLen)
+	}
+	type leaf struct {
+		sym  int
+		freq int64
+	}
+	var leaves []leaf
+	for s, f := range freqs {
+		if f < 0 {
+			return nil, fmt.Errorf("huffman: negative frequency for symbol %d", s)
+		}
+		if f > 0 {
+			leaves = append(leaves, leaf{s, f})
+		}
+	}
+	lengths := make([]uint8, len(freqs))
+	switch len(leaves) {
+	case 0:
+		return nil, ErrEmptyAlphabet
+	case 1:
+		// A single symbol still needs one bit on the wire so the decoder can
+		// count symbols.
+		lengths[leaves[0].sym] = 1
+		return lengths, nil
+	}
+	if len(leaves) > 1<<maxLen {
+		return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d-bit codes", len(leaves), maxLen)
+	}
+	sort.Slice(leaves, func(i, j int) bool {
+		if leaves[i].freq != leaves[j].freq {
+			return leaves[i].freq < leaves[j].freq
+		}
+		return leaves[i].sym < leaves[j].sym
+	})
+
+	// Package-merge. Each item is a weight plus the multiset of leaves it
+	// covers; a leaf's final code length is the number of times it appears in
+	// the first 2n-2 items of the level-1 list.
+	type item struct {
+		weight int64
+		leaves []int32 // indices into the sorted leaves slice
+	}
+	makeLeafItems := func() []item {
+		out := make([]item, len(leaves))
+		for i, lf := range leaves {
+			out[i] = item{weight: lf.freq, leaves: []int32{int32(i)}}
+		}
+		return out
+	}
+	var prev []item
+	for level := 0; level < maxLen; level++ {
+		// Package pairs from the previous (deeper) level.
+		var packages []item
+		for i := 0; i+1 < len(prev); i += 2 {
+			merged := item{
+				weight: prev[i].weight + prev[i+1].weight,
+				leaves: append(append([]int32{}, prev[i].leaves...), prev[i+1].leaves...),
+			}
+			packages = append(packages, merged)
+		}
+		// Merge leaves and packages, sorted by weight (stable: leaves first on
+		// ties, which keeps shorter codes on earlier symbols).
+		cur := makeLeafItems()
+		cur = append(cur, packages...)
+		sort.SliceStable(cur, func(i, j int) bool { return cur[i].weight < cur[j].weight })
+		prev = cur
+	}
+	take := 2*len(leaves) - 2
+	if take > len(prev) {
+		return nil, fmt.Errorf("huffman: internal: package-merge produced %d items, need %d", len(prev), take)
+	}
+	counts := make([]int, len(leaves))
+	for _, it := range prev[:take] {
+		for _, li := range it.leaves {
+			counts[li]++
+		}
+	}
+	for i, lf := range leaves {
+		if counts[i] < 1 || counts[i] > maxLen {
+			return nil, fmt.Errorf("huffman: internal: symbol %d got length %d", lf.sym, counts[i])
+		}
+		lengths[lf.sym] = uint8(counts[i])
+	}
+	return lengths, nil
+}
+
+// ValidateLengths checks that a code-length array describes a complete or
+// under-full prefix code with all lengths ≤ maxLen. A complete code has
+// Kraft sum exactly 1; a single-symbol code (one length-1 entry) is also
+// accepted, matching BuildLengths.
+func ValidateLengths(lengths []uint8, maxLen int) error {
+	var kraft uint64 // in units of 2^-maxLen
+	used := 0
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if int(l) > maxLen {
+			return fmt.Errorf("%w: symbol %d has length %d > max %d", ErrBadLengths, s, l, maxLen)
+		}
+		used++
+		kraft += 1 << (maxLen - int(l))
+	}
+	if used == 0 {
+		return ErrEmptyAlphabet
+	}
+	full := uint64(1) << maxLen
+	if used == 1 {
+		return nil // degenerate single-symbol code
+	}
+	if kraft != full {
+		return fmt.Errorf("%w: Kraft sum %d/%d", ErrBadLengths, kraft, full)
+	}
+	return nil
+}
+
+// Code is a canonical Huffman codeword prepared for an LSB-first bitstream:
+// Bits holds the bit-reversed codeword so it can be written directly with
+// bitio.Writer.WriteBits.
+type Code struct {
+	Bits uint16
+	Len  uint8
+}
+
+// reverseBits reverses the low n bits of v.
+func reverseBits(v uint16, n uint8) uint16 {
+	var r uint16
+	for i := uint8(0); i < n; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// CanonicalCodes assigns canonical codes (increasing by length, then symbol)
+// for a code-length array and returns them pre-reversed for LSB-first output.
+func CanonicalCodes(lengths []uint8, maxLen int) ([]Code, error) {
+	if err := ValidateLengths(lengths, maxLen); err != nil {
+		return nil, err
+	}
+	var lenCount [MaxCodeLen + 1]int
+	for _, l := range lengths {
+		lenCount[l]++
+	}
+	// RFC 1951 canonical construction: codes of each length start where the
+	// previous length's codes ended, shifted left one bit.
+	lenCount[0] = 0
+	var nextCode [MaxCodeLen + 2]uint32
+	code := uint32(0)
+	for l := 1; l <= maxLen; l++ {
+		code = (code + uint32(lenCount[l-1])) << 1
+		nextCode[l] = code
+	}
+	codes := make([]Code, len(lengths))
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		c := nextCode[l]
+		nextCode[l]++
+		if c >= 1<<l {
+			return nil, fmt.Errorf("%w: canonical overflow at symbol %d", ErrBadLengths, s)
+		}
+		codes[s] = Code{Bits: reverseBits(uint16(c), l), Len: l}
+	}
+	return codes, nil
+}
+
+// Encoder holds the per-symbol codes of one canonical tree.
+type Encoder struct {
+	codes []Code
+}
+
+// NewEncoder builds an Encoder from frequencies, limiting codes to maxLen.
+func NewEncoder(freqs []int64, maxLen int) (*Encoder, []uint8, error) {
+	lengths, err := BuildLengths(freqs, maxLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := NewEncoderFromLengths(lengths, maxLen)
+	return enc, lengths, err
+}
+
+// NewEncoderFromLengths builds an Encoder from an existing code-length array.
+func NewEncoderFromLengths(lengths []uint8, maxLen int) (*Encoder, error) {
+	codes, err := CanonicalCodes(lengths, maxLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{codes: codes}, nil
+}
+
+// Code returns the prepared code for symbol s. A zero-length code means the
+// symbol is not part of the tree.
+func (e *Encoder) Code(s int) Code { return e.codes[s] }
+
+// BitWriter is the subset of bitio.Writer the encoder needs; declared here to
+// avoid an import cycle in tests that stub it.
+type BitWriter interface {
+	WriteBits(v uint64, n uint)
+}
+
+// Encode writes symbol s to w. It panics if s has no code, which indicates a
+// histogram/encoder mismatch — a programming error, not an input error.
+func (e *Encoder) Encode(w BitWriter, s int) {
+	c := e.codes[s]
+	if c.Len == 0 {
+		panic(fmt.Sprintf("huffman: encoding symbol %d with no code", s))
+	}
+	w.WriteBits(uint64(c.Bits), uint(c.Len))
+}

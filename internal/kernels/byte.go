@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gompresso/internal/format"
+	"gompresso/internal/gpu"
+)
+
+// ByteInput describes a Gompresso/Byte decompression launch: blocks are
+// decoded and decompressed in a single pass because the byte-aligned coding
+// needs no separate entropy-decoding stage (paper §III-B: "Gompresso/Byte
+// can combine decoding and decompression in a single pass").
+type ByteInput struct {
+	Payloads  [][]byte
+	NumSeqs   []int
+	RawLens   []int
+	BlockSize int
+	Out       []byte
+	Tile      int // model-only input replication (see gpu.LaunchConfig)
+}
+
+// ByteLaunch runs the fused Byte kernel: one warp per block. Per group of 32
+// sequences the headers are parsed warp-serially from the byte stream (they
+// are variable-length, so locating sequence boundaries is inherently
+// sequential), then the literal-copy and back-reference phases run
+// warp-parallel exactly as in the Bit path.
+func ByteLaunch(dev *gpu.Device, in ByteInput, strat Strategy) (*gpu.LaunchStats, *RoundStats, error) {
+	nb := len(in.Payloads)
+	if nb != len(in.NumSeqs) || nb != len(in.RawLens) {
+		return nil, nil, fmt.Errorf("kernels: byte launch: mismatched block metadata")
+	}
+	blockStats := make([]RoundStats, nb)
+	blockErrs := make([]error, nb)
+
+	stats, err := dev.Launch(gpu.LaunchConfig{Label: "byte/" + strat.String(), Blocks: nb, TileFactor: in.Tile}, func(w *gpu.Warp, b int) {
+		payload := in.Payloads[b]
+		outBase := b * in.BlockSize
+		outPos := outBase
+		var rs *RoundStats
+		if strat != SC {
+			rs = &blockStats[b]
+		}
+		off := 0
+		remaining := in.NumSeqs[b]
+		for remaining > 0 {
+			n := remaining
+			if n > gpu.WarpSize {
+				n = gpu.WarpSize
+			}
+			var g group
+			g.n = n
+			var headerBytes int64
+			for i := 0; i < n; i++ {
+				p, next, err := format.ParseSeqByte(payload, off)
+				if err != nil {
+					blockErrs[b] = fmt.Errorf("block %d: %w", b, err)
+					return
+				}
+				g.litLen[i] = int32(p.Seq.LitLen)
+				g.matchLen[i] = int32(p.Seq.MatchLen)
+				g.offset[i] = int32(p.Seq.Offset)
+				g.litSrc[i] = int32(p.LitOff)
+				headerBytes += int64(p.Cost)
+				off = next
+			}
+			// Warp-serial header walk: each header's location depends on the
+			// previous header's contents.
+			w.ChargeALU(headerBytes * slotsParseByte)
+			w.Stall(int64(n) * stallParseSeq)
+			w.GmemRead(headerBytes, true)
+			var err error
+			outPos, err = processGroup(w, in.Out, outBase, outPos, &g, payload, strat, rs)
+			if err != nil {
+				blockErrs[b] = fmt.Errorf("block %d: %w", b, err)
+				return
+			}
+			remaining -= n
+		}
+		if off != len(payload) {
+			blockErrs[b] = fmt.Errorf("block %d: %d trailing payload bytes", b, len(payload)-off)
+			return
+		}
+		if outPos-outBase != in.RawLens[b] {
+			blockErrs[b] = fmt.Errorf("block %d produced %d bytes, want %d", b, outPos-outBase, in.RawLens[b])
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range blockErrs {
+		if e != nil {
+			return nil, nil, e
+		}
+	}
+	agg := &RoundStats{}
+	for i := range blockStats {
+		agg.merge(&blockStats[i])
+	}
+	return stats, agg, nil
+}

@@ -1,0 +1,200 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gompresso/internal/format"
+	"gompresso/internal/gpu"
+	"gompresso/internal/huffman"
+	"gompresso/internal/lz77"
+)
+
+// Huffman decode kernel cost constants. slotsPerSymbol folds the issue cost
+// of the peek/LUT-load/consume chain together with the marginal unhidden
+// shared-memory and bit-buffer dependency latency — variable-length decoding
+// is a serial chain per lane, which is why the paper needs sub-block
+// parallelism at all (§II-C: codeword boundaries are unknown in advance).
+const (
+	slotsPerSymbol    = 48
+	slotsPerExtraBit  = 2
+	slotsPerSeqDecode = 8 // record assembly and store addressing
+	lutEntrySlots     = 2 // shared-memory store per LUT entry during build
+)
+
+// maxWarpsPerGroup caps thread-group width at the CUDA limit of 1024
+// threads.
+const maxWarpsPerGroup = 32
+
+// DecodeLaunch runs the parallel Huffman decoding kernel (paper §III-B1):
+// one thread-group per data block, each lane decoding one sub-block using
+// the block's two LUTs held in on-chip memory. Lanes stride when a block has
+// more sub-blocks than the group has threads. The decoded tokens are
+// materialized as one TokenSoA per block.
+func DecodeLaunch(dev *gpu.Device, blocks []*format.BitBlock, tile int) (*gpu.LaunchStats, []*TokenSoA, error) {
+	nb := len(blocks)
+	type blockPlan struct {
+		blk    *format.BitBlock
+		litDec *decoderHandle
+		offDec *decoderHandle
+		bitOff []int64 // per sub-block absolute bit offset
+		litOff []int32 // per sub-block literal write offset
+		soa    *TokenSoA
+		smem   int
+	}
+	plans := make([]blockPlan, nb)
+	maxSubs, maxSmem := 0, 0
+	for i, blk := range blocks {
+		litDec, offDec, err := blk.Decoders()
+		if err != nil {
+			return nil, nil, fmt.Errorf("kernels: block %d: %w", i, err)
+		}
+		p := blockPlan{blk: blk}
+		p.litDec = &decoderHandle{dec: litDec}
+		p.smem = litDec.TableBytes()
+		if offDec != nil {
+			p.offDec = &decoderHandle{dec: offDec}
+			p.smem += offDec.TableBytes()
+		}
+		// Sub-block offsets: "the starting offset of each sub-block in the
+		// bitstream is computed from the sub-block sizes in the file header".
+		var bo int64
+		var lo int32
+		for s := range blk.SubBits {
+			p.bitOff = append(p.bitOff, bo)
+			p.litOff = append(p.litOff, lo)
+			bo += blk.SubBits[s]
+			lo += blk.SubLits[s]
+		}
+		p.soa = &TokenSoA{
+			LitLen:   make([]int32, blk.NumSeqs),
+			MatchLen: make([]int32, blk.NumSeqs),
+			Offset:   make([]int32, blk.NumSeqs),
+			Literals: make([]byte, lo),
+		}
+		if len(blk.SubBits) > maxSubs {
+			maxSubs = len(blk.SubBits)
+		}
+		if p.smem > maxSmem {
+			maxSmem = p.smem
+		}
+		plans[i] = p
+	}
+	warpsPerGroup := (maxSubs + gpu.WarpSize - 1) / gpu.WarpSize
+	if warpsPerGroup < 1 {
+		warpsPerGroup = 1
+	}
+	if warpsPerGroup > maxWarpsPerGroup {
+		warpsPerGroup = maxWarpsPerGroup
+	}
+	blockErrs := make([]error, nb)
+
+	cfg := gpu.LaunchConfig{
+		Label:             "huffman-decode",
+		Blocks:            nb * warpsPerGroup,
+		WarpsPerGroup:     warpsPerGroup,
+		SharedMemPerBlock: maxSmem,
+		TileFactor:        tile,
+	}
+	stats, err := dev.Launch(cfg, func(w *gpu.Warp, warpID int) {
+		b := warpID / warpsPerGroup
+		wi := warpID % warpsPerGroup
+		p := &plans[b]
+		if blockErrs[b] != nil {
+			return
+		}
+		blk := p.blk
+
+		// Cooperative LUT build: the group's warps stream the canonical
+		// code-length arrays from device memory and expand them into the
+		// shared-memory tables; each warp builds its share of the entries.
+		entries := p.litDec.dec.TableEntries()
+		if p.offDec != nil {
+			entries += p.offDec.dec.TableEntries()
+		}
+		share := int64((entries + warpsPerGroup - 1) / warpsPerGroup)
+		w.SmemWrite(share / gpu.WarpSize * lutEntrySlots)
+		w.GmemRead(int64(format.LitLenSyms+format.OffSyms)/2, true)
+
+		numSubs := len(blk.SubBits)
+		seqsPerSub := blk.SeqsPerSub
+		var scratchSeqs []lz77.Seq
+		var scratchLits []byte
+		for base := wi * gpu.WarpSize; base < numSubs; base += warpsPerGroup * gpu.WarpSize {
+			var maxLaneSlots int64
+			var payloadBytes, recordBytes, litBytes int64
+			for lane := 0; lane < gpu.WarpSize; lane++ {
+				sub := base + lane
+				if sub >= numSubs {
+					break
+				}
+				n := seqsPerSub
+				if rem := blk.NumSeqs - sub*seqsPerSub; n > rem {
+					n = rem
+				}
+				scratchSeqs = scratchSeqs[:0]
+				scratchLits = scratchLits[:0]
+				var st format.SubDecodeStats
+				var err error
+				scratchLits, scratchSeqs, st, err = format.DecodeSubBlock(
+					blk.Payload, p.bitOff[sub], blk.SubBits[sub],
+					p.litDec.dec, p.offDec.get(), n, scratchLits, scratchSeqs)
+				if err != nil {
+					blockErrs[b] = fmt.Errorf("block %d sub-block %d: %w", b, sub, err)
+					return
+				}
+				if int32(len(scratchLits)) != blk.SubLits[sub] {
+					blockErrs[b] = fmt.Errorf("block %d sub-block %d: decoded %d literal bytes, header says %d",
+						b, sub, len(scratchLits), blk.SubLits[sub])
+					return
+				}
+				// Write the decoded tokens to their device-memory slots.
+				for j, s := range scratchSeqs {
+					idx := sub*seqsPerSub + j
+					p.soa.LitLen[idx] = int32(s.LitLen)
+					p.soa.MatchLen[idx] = int32(s.MatchLen)
+					p.soa.Offset[idx] = int32(s.Offset)
+				}
+				copy(p.soa.Literals[p.litOff[sub]:], scratchLits)
+
+				laneSlots := int64(st.Symbols)*slotsPerSymbol +
+					int64(st.ExtraBits)*slotsPerExtraBit +
+					int64(n)*slotsPerSeqDecode
+				if laneSlots > maxLaneSlots {
+					maxLaneSlots = laneSlots
+				}
+				payloadBytes += (blk.SubBits[sub] + 7) / 8
+				recordBytes += int64(n) * seqRecordBytes
+				litBytes += int64(len(scratchLits))
+			}
+			// Lock-step: the warp pays for its slowest lane.
+			w.ChargeLaneWork(maxLaneSlots, 1)
+			w.GmemRead(payloadBytes, true)
+			w.GmemWrite(recordBytes, true)
+			w.GmemWrite(litBytes, true)
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range blockErrs {
+		if e != nil {
+			return nil, nil, e
+		}
+	}
+	out := make([]*TokenSoA, nb)
+	for i := range plans {
+		out[i] = plans[i].soa
+	}
+	return stats, out, nil
+}
+
+// decoderHandle wraps a possibly-nil decoder so kernels can pass it through
+// without nil checks at every call site.
+type decoderHandle struct{ dec *huffman.Decoder }
+
+func (h *decoderHandle) get() *huffman.Decoder {
+	if h == nil {
+		return nil
+	}
+	return h.dec
+}

@@ -1,0 +1,352 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gompresso/internal/gpu"
+	"gompresso/internal/lz77"
+)
+
+// Kernel cost constants, in warp-instruction slots / stall cycles (see
+// internal/gpu). copyPhaseStall is the dominant term: a scattered copy is a
+// chain of dependent global-memory round trips that the issuing warp must
+// wait out. It is paid once per concurrent copy phase (all lanes together),
+// once per MRR round, and once per *lane* under Sequential Copying — which
+// is exactly the paper's §IV cost structure.
+const (
+	slotsPerSeqSetup   = 2 // per-sequence register bookkeeping per phase
+	slotsGroupSetup    = 4 // per-group loop control and addressing
+	slotsRoundOverhead = 4 // MRR round: clz, compare, branch, mask update
+	slotsParseByte     = 2 // serial Byte-variant header parsing, per byte
+	stallParseSeq      = 8 // dependent header walk per sequence (cached)
+	copyBytesPerSlot   = 4 // vectorized copy width (one slot per 4-byte word)
+
+	// Stall calibration. The literal phase is one warp-wide streaming copy;
+	// a back-reference round is a warp-wide *scattered* gather+scatter whose
+	// tail (slowest of 32 dependent chains plus the ballot/shuffle sync)
+	// runs several times longer; a Sequential-Copying turn is a single
+	// lane's chain. These three constants set the relative costs that give
+	// the paper its Fig. 9a geometry (DE ≥ 5× SC, DE 2–3× MRR at ≈3 rounds).
+	stallLitPhase  = 700
+	stallBackrefs  = 2600 // per MRR round and per DE single round
+	stallSCBackref = 1000 // per back-reference, serialized
+)
+
+// TokenSoA is the decoded token stream of one data block laid out
+// structure-of-arrays in device memory: the form the Huffman decode kernel
+// writes and the LZ77 kernel reads (paper §III-B1: "the output of the
+// decoder is the stream of literal and back-reference tokens, and is written
+// back to the device memory").
+type TokenSoA struct {
+	LitLen   []int32
+	MatchLen []int32
+	Offset   []int32
+	Literals []byte
+}
+
+// FromTokenStream converts a host token stream into the SoA layout.
+func FromTokenStream(ts *lz77.TokenStream) *TokenSoA {
+	soa := &TokenSoA{
+		LitLen:   make([]int32, len(ts.Seqs)),
+		MatchLen: make([]int32, len(ts.Seqs)),
+		Offset:   make([]int32, len(ts.Seqs)),
+		Literals: ts.Literals,
+	}
+	for i, s := range ts.Seqs {
+		soa.LitLen[i] = int32(s.LitLen)
+		soa.MatchLen[i] = int32(s.MatchLen)
+		soa.Offset[i] = int32(s.Offset)
+	}
+	return soa
+}
+
+// seqRecordBytes is the device-memory footprint of one token record.
+const seqRecordBytes = 12
+
+// group holds the per-lane registers of one 32-sequence iteration.
+type group struct {
+	n        int
+	litLen   [gpu.WarpSize]int32
+	matchLen [gpu.WarpSize]int32
+	offset   [gpu.WarpSize]int32
+	litSrc   [gpu.WarpSize]int32 // absolute literal index into litBuf
+}
+
+// processGroup runs phases (b) and (c) of paper §III-B2 for one group:
+// computes output positions with a warp scan, copies literal strings, then
+// resolves back-references with the selected strategy. It returns the output
+// position after the group.
+func processGroup(w *gpu.Warp, out []byte, blockBase, outPos int,
+	g *group, litBuf []byte, strat Strategy, rs *RoundStats) (int, error) {
+
+	w.ChargeALU(slotsGroupSetup)
+
+	// Phase (b) first half: output positions via exclusive prefix sum over
+	// litLen+matchLen (paper: "a second exclusive prefix sum ... computed
+	// from the total number of bytes that each thread will write").
+	var totals [gpu.WarpSize]int32
+	for i := 0; i < g.n; i++ {
+		totals[i] = g.litLen[i] + g.matchLen[i]
+	}
+	outScan := w.ExclScan32(&totals)
+
+	var dst, brPos, brEnd, readStart, readEnd [gpu.WarpSize]int
+	for i := 0; i < g.n; i++ {
+		dst[i] = outPos + int(outScan[i])
+		brPos[i] = dst[i] + int(g.litLen[i])
+		brEnd[i] = brPos[i] + int(g.matchLen[i])
+		if g.matchLen[i] > 0 {
+			readStart[i] = brPos[i] - int(g.offset[i])
+			readEnd[i] = readStart[i] + int(g.matchLen[i])
+			if readStart[i] < blockBase {
+				return 0, fmt.Errorf("kernels: back-reference reaches %d bytes before its block", blockBase-readStart[i])
+			}
+		}
+	}
+	groupEnd := outPos
+	if g.n > 0 {
+		groupEnd = brEnd[g.n-1]
+	}
+	if groupEnd > len(out) {
+		return 0, fmt.Errorf("kernels: group writes past output buffer (%d > %d)", groupEnd, len(out))
+	}
+
+	// Phase (b) second half: copy literal strings. Lanes copy concurrently;
+	// in lock-step the warp pays for the longest literal.
+	var maxLit, totLit int64
+	for i := 0; i < g.n; i++ {
+		n := int(g.litLen[i])
+		if n == 0 {
+			continue
+		}
+		src := int(g.litSrc[i])
+		if src < 0 || src+n > len(litBuf) {
+			return 0, fmt.Errorf("kernels: literal source [%d,%d) outside buffer of %d", src, src+n, len(litBuf))
+		}
+		copy(out[dst[i]:dst[i]+n], litBuf[src:src+n])
+		totLit += int64(n)
+		if int64(n) > maxLit {
+			maxLit = int64(n)
+		}
+	}
+	w.ChargeLaneWork((maxLit+copyBytesPerSlot-1)/copyBytesPerSlot, 1)
+	w.ChargeALU(int64(g.n) * slotsPerSeqSetup)
+	if totLit > 0 {
+		w.Stall(stallLitPhase)
+	}
+	w.GmemRead(totLit, true)   // literal stream is contiguous
+	w.GmemWrite(totLit, false) // destinations are scattered across lanes
+
+	// Phase (c): back-references.
+	var pendingMask uint32
+	var totMatch int64
+	for i := 0; i < g.n; i++ {
+		if g.matchLen[i] > 0 {
+			pendingMask |= 1 << uint(i)
+			totMatch += int64(g.matchLen[i])
+		}
+	}
+	if pendingMask == 0 {
+		return groupEnd, nil
+	}
+
+	switch strat {
+	case SC:
+		// Sequential Copying: lanes take strict turns; every copy is paid
+		// serially (paper §V-A baseline, "without intra-block parallelism").
+		for i := 0; i < g.n; i++ {
+			ml := int64(g.matchLen[i])
+			if ml == 0 {
+				continue
+			}
+			copyBackref(out, brPos[i], readStart[i], int(ml))
+			w.ChargeALU(slotsPerSeqSetup)
+			w.ChargeLaneWork((ml+copyBytesPerSlot-1)/copyBytesPerSlot, 1)
+			w.Stall(stallSCBackref) // each lane's copy chain is paid serially
+			w.GmemRead(ml, false)
+			w.GmemWrite(ml, false)
+		}
+
+	case MRR:
+		rounds := 0
+		for {
+			votes := w.Ballot(pendingMask)
+			if votes == 0 {
+				break
+			}
+			rounds++
+			first := gpu.Ctz(votes)
+			// Broadcast the gapless high-water mark: everything below the
+			// first pending lane's back-reference position is written
+			// (paper Fig. 5 lines 8-10: ballot, leading-zero count, shfl).
+			hwm := gpu.Shfl(w, &brPos, first)
+			w.ChargeALU(slotsRoundOverhead)
+
+			var roundBytes, roundSeqs, maxCopy int64
+			for i := 0; i < g.n; i++ {
+				if votes&(1<<uint(i)) == 0 {
+					continue
+				}
+				// The first pending lane may always resolve: its gapless
+				// prefix is complete and an overlap-aware copy handles any
+				// self-overlap (see DESIGN.md).
+				if i != first && readEnd[i] > hwm {
+					continue
+				}
+				ml := int64(g.matchLen[i])
+				copyBackref(out, brPos[i], readStart[i], int(ml))
+				pendingMask &^= 1 << uint(i)
+				roundBytes += ml
+				roundSeqs++
+				if ml > maxCopy {
+					maxCopy = ml
+				}
+			}
+			w.ChargeLaneWork((maxCopy+copyBytesPerSlot-1)/copyBytesPerSlot, 1)
+			w.ChargeALU(int64(g.n) * 1) // per-lane predicate evaluation
+			w.Stall(stallBackrefs)      // one scattered copy phase per round
+			w.GmemRead(roundBytes, false)
+			w.GmemWrite(roundBytes, false)
+			if rs != nil {
+				rs.recordRound(rounds, roundBytes, roundSeqs)
+			}
+		}
+		if rs != nil {
+			rs.recordGroup(rounds)
+		}
+
+	case DE:
+		// One round: everything below the first match-bearing lane's
+		// back-reference position — the group's gapless literal prefix plus
+		// all previous groups — is available (paper §IV-B).
+		votes := w.Ballot(pendingMask)
+		first := gpu.Ctz(votes)
+		avail := gpu.Shfl(w, &brPos, first)
+		w.ChargeALU(slotsRoundOverhead)
+		var maxCopy int64
+		for i := 0; i < g.n; i++ {
+			if votes&(1<<uint(i)) == 0 {
+				continue
+			}
+			if readEnd[i] > avail {
+				return 0, fmt.Errorf("kernels: DE strategy on stream with intra-group dependency (lane %d reads to %d, available %d)", i, readEnd[i], avail)
+			}
+			ml := int64(g.matchLen[i])
+			copyBackref(out, brPos[i], readStart[i], int(ml))
+			if ml > maxCopy {
+				maxCopy = ml
+			}
+		}
+		w.ChargeLaneWork((maxCopy+copyBytesPerSlot-1)/copyBytesPerSlot, 1)
+		w.ChargeALU(int64(g.n) * 1)
+		w.Stall(stallBackrefs) // single round: one scattered copy phase
+		w.GmemRead(totMatch, false)
+		w.GmemWrite(totMatch, false)
+		if rs != nil {
+			rs.recordRound(1, totMatch, int64(popcount(votes)))
+			rs.recordGroup(1)
+		}
+
+	default:
+		return 0, fmt.Errorf("kernels: unknown strategy %v", strat)
+	}
+	return groupEnd, nil
+}
+
+func popcount(v uint32) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// copyBackref copies length bytes from readStart to writePos within out,
+// byte-serially when the intervals overlap (RLE-style references).
+func copyBackref(out []byte, writePos, readStart, length int) {
+	if readStart+length <= writePos {
+		copy(out[writePos:writePos+length], out[readStart:readStart+length])
+		return
+	}
+	for i := 0; i < length; i++ {
+		out[writePos+i] = out[readStart+i]
+	}
+}
+
+// LZ77Input describes one LZ77 decompression launch over decoded tokens.
+type LZ77Input struct {
+	Tokens    []*TokenSoA // one per data block
+	RawLens   []int       // uncompressed size per block
+	BlockSize int         // uniform block size (output stride)
+	Out       []byte      // output buffer, len = total raw size
+	Tile      int         // model-only input replication (see gpu.LaunchConfig)
+}
+
+// LZ77Launch runs the LZ77 decompression kernel: one warp per data block,
+// 32 sequences per iteration (paper §III-B2). It returns launch statistics
+// and, for MRR/DE, round statistics.
+func LZ77Launch(dev *gpu.Device, in LZ77Input, strat Strategy) (*gpu.LaunchStats, *RoundStats, error) {
+	nb := len(in.Tokens)
+	if nb != len(in.RawLens) {
+		return nil, nil, fmt.Errorf("kernels: %d token blocks but %d raw lengths", nb, len(in.RawLens))
+	}
+	blockStats := make([]RoundStats, nb)
+	blockErrs := make([]error, nb)
+
+	stats, err := dev.Launch(gpu.LaunchConfig{Label: "lz77/" + strat.String(), Blocks: nb, TileFactor: in.Tile}, func(w *gpu.Warp, b int) {
+		soa := in.Tokens[b]
+		outBase := b * in.BlockSize
+		outPos := outBase
+		litPos := 0
+		var rs *RoundStats
+		if strat != SC {
+			rs = &blockStats[b]
+		}
+		for base := 0; base < len(soa.LitLen); base += gpu.WarpSize {
+			n := len(soa.LitLen) - base
+			if n > gpu.WarpSize {
+				n = gpu.WarpSize
+			}
+			// Phase (a): fetch the 32 sequence records and locate literal
+			// strings with an exclusive prefix sum over literal lengths
+			// (paper §III-B2a).
+			var g group
+			g.n = n
+			for i := 0; i < n; i++ {
+				g.litLen[i] = soa.LitLen[base+i]
+				g.matchLen[i] = soa.MatchLen[base+i]
+				g.offset[i] = soa.Offset[base+i]
+			}
+			w.GmemRead(int64(n)*seqRecordBytes, true)
+			litScan := w.ExclScan32(&g.litLen)
+			var groupLits int32
+			for i := 0; i < n; i++ {
+				g.litSrc[i] = int32(litPos) + litScan[i]
+				groupLits += g.litLen[i]
+			}
+			var err error
+			outPos, err = processGroup(w, in.Out, outBase, outPos, &g, soa.Literals, strat, rs)
+			if err != nil {
+				blockErrs[b] = fmt.Errorf("block %d seqs [%d,%d): %w", b, base, base+n, err)
+				return
+			}
+			litPos += int(groupLits)
+		}
+		if outPos-outBase != in.RawLens[b] {
+			blockErrs[b] = fmt.Errorf("block %d produced %d bytes, want %d", b, outPos-outBase, in.RawLens[b])
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range blockErrs {
+		if e != nil {
+			return nil, nil, e
+		}
+	}
+	agg := &RoundStats{}
+	for i := range blockStats {
+		agg.merge(&blockStats[i])
+	}
+	return stats, agg, nil
+}

@@ -1,0 +1,218 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gompresso/internal/gpu"
+)
+
+// MRRGlobalLaunch implements the paper's alternative MRR variant (§V-A):
+// "We also implemented an alternative variant of MRR that wrote nested
+// back-references to device memory during each round. Each round is
+// performed in a separate kernel. Later passes read unresolved
+// back-references and all threads in a warp can be doing useful work.
+// Because of the overhead of writing to and reading from memory, together
+// with the increased complexity of tracking when a dependency can be
+// resolved, the alternative variant did not improve the performance of
+// MRR."
+//
+// Round 0 runs the normal phases (record fetch, scans, literal copies) and
+// appends every back-reference to a global worklist instead of resolving it
+// in-warp. Each subsequent round is a separate launch over the remaining
+// worklist: entries whose source data is complete copy and retire; the rest
+// are written back. Availability is tracked per block with a gapless
+// watermark advanced on the host between rounds — the "increased complexity
+// of tracking when a dependency can be resolved".
+//
+// The function returns bit-exact output like LZ77Launch; its total time is
+// expected to be no better than the in-warp MRR (tests assert the paper's
+// conclusion).
+func MRRGlobalLaunch(dev *gpu.Device, in LZ77Input) (total float64, rounds int, err error) {
+	nb := len(in.Tokens)
+	if nb != len(in.RawLens) {
+		return 0, 0, fmt.Errorf("kernels: %d token blocks but %d raw lengths", nb, len(in.RawLens))
+	}
+
+	// Worklist entry: one unresolved back-reference.
+	type workItem struct {
+		block     int
+		writePos  int
+		readStart int
+		length    int
+	}
+	perBlock := make([][]workItem, nb)
+	blockErrs := make([]error, nb)
+
+	// Round 0: literals and worklist construction (one warp per block).
+	stats, err := dev.Launch(gpu.LaunchConfig{Label: "lz77/MRR-global/lit", Blocks: nb, TileFactor: in.Tile},
+		func(w *gpu.Warp, b int) {
+			soa := in.Tokens[b]
+			outBase := b * in.BlockSize
+			outPos := outBase
+			litPos := 0
+			for base := 0; base < len(soa.LitLen); base += gpu.WarpSize {
+				n := len(soa.LitLen) - base
+				if n > gpu.WarpSize {
+					n = gpu.WarpSize
+				}
+				var g group
+				g.n = n
+				for i := 0; i < n; i++ {
+					g.litLen[i] = soa.LitLen[base+i]
+					g.matchLen[i] = soa.MatchLen[base+i]
+					g.offset[i] = soa.Offset[base+i]
+				}
+				w.GmemRead(int64(n)*seqRecordBytes, true)
+				litScan := w.ExclScan32(&g.litLen)
+				var totals [gpu.WarpSize]int32
+				for i := 0; i < n; i++ {
+					totals[i] = g.litLen[i] + g.matchLen[i]
+				}
+				outScan := w.ExclScan32(&totals)
+				litBase, outGroupBase := litPos, outPos
+				var maxLit, totLit int64
+				for i := 0; i < n; i++ {
+					src := litBase + int(litScan[i])
+					dst := outGroupBase + int(outScan[i])
+					ll := int(g.litLen[i])
+					if src+ll > len(soa.Literals) || dst+ll > len(in.Out) {
+						blockErrs[b] = fmt.Errorf("block %d: literal bounds", b)
+						return
+					}
+					copy(in.Out[dst:dst+ll], soa.Literals[src:src+ll])
+					totLit += int64(ll)
+					if int64(ll) > maxLit {
+						maxLit = int64(ll)
+					}
+					if ml := int(g.matchLen[i]); ml > 0 {
+						wp := dst + ll
+						rs := wp - int(g.offset[i])
+						if rs < outBase {
+							blockErrs[b] = fmt.Errorf("block %d: offset before block", b)
+							return
+						}
+						perBlock[b] = append(perBlock[b], workItem{b, wp, rs, ml})
+					}
+					litPos += ll
+					outPos = dst + ll + int(g.matchLen[i])
+				}
+				w.ChargeLaneWork((maxLit+copyBytesPerSlot-1)/copyBytesPerSlot, 1)
+				w.Stall(stallLitPhase)
+				w.GmemRead(totLit, true)
+				w.GmemWrite(totLit, false)
+				// Write the group's pending back-references to the worklist.
+				w.GmemWrite(int64(n)*16, true)
+			}
+			if outPos-outBase != in.RawLens[b] {
+				blockErrs[b] = fmt.Errorf("block %d produced %d bytes, want %d", b, outPos-outBase, in.RawLens[b])
+			}
+		})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range blockErrs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	total = stats.Time
+
+	// Per-block gapless watermark: everything below the first pending
+	// back-reference's write position is final (literals are all written).
+	watermark := make([]int, nb)
+	for b := range watermark {
+		watermark[b] = b*in.BlockSize + in.RawLens[b]
+		if len(perBlock[b]) > 0 {
+			watermark[b] = perBlock[b][0].writePos
+		}
+	}
+	pending := 0
+	for _, l := range perBlock {
+		pending += len(l)
+	}
+
+	// Resolution rounds: each is a separate launch over the worklist, 32
+	// items per warp, lanes independent ("all threads can be doing useful
+	// work").
+	for pending > 0 {
+		rounds++
+		// The block-level watermark resolves at least one item per block per
+		// round, so rounds are bounded by the longest dependency chain in a
+		// block — which can run to thousands on repetitive data. That
+		// pathology is one of the reasons the paper rejected this variant.
+		if rounds > 1<<20 {
+			return 0, 0, fmt.Errorf("kernels: MRR-global did not converge")
+		}
+		// Flatten the worklist (host-side bookkeeping stands in for the
+		// device-side compaction the paper describes as added complexity).
+		var items []workItem
+		for _, l := range perBlock {
+			items = append(items, l...)
+		}
+		warps := (len(items) + gpu.WarpSize - 1) / gpu.WarpSize
+		resolved := make([]bool, len(items))
+		stats, err := dev.Launch(gpu.LaunchConfig{Label: "lz77/MRR-global/round", Blocks: warps, TileFactor: in.Tile},
+			func(w *gpu.Warp, warpID int) {
+				lo := warpID * gpu.WarpSize
+				hi := lo + gpu.WarpSize
+				if hi > len(items) {
+					hi = len(items)
+				}
+				w.GmemRead(int64(hi-lo)*16, true) // read worklist slice
+				var roundBytes, maxCopy int64
+				for i := lo; i < hi; i++ {
+					it := items[i]
+					// First-pending special case: its gapless prefix is
+					// complete, overlap-aware copy handles self-overlap.
+					first := it.writePos == watermark[it.block]
+					if !first && it.readStart+it.length > watermark[it.block] {
+						continue
+					}
+					copyBackref(in.Out, it.writePos, it.readStart, it.length)
+					resolved[i] = true
+					roundBytes += int64(it.length)
+					if int64(it.length) > maxCopy {
+						maxCopy = int64(it.length)
+					}
+				}
+				w.ChargeLaneWork((maxCopy+copyBytesPerSlot-1)/copyBytesPerSlot, 1)
+				w.Stall(stallBackrefs)
+				w.GmemRead(roundBytes, false)
+				w.GmemWrite(roundBytes, false)
+				w.GmemWrite(int64(hi-lo)*16, true) // compacted worklist write-back
+			})
+		if err != nil {
+			return 0, 0, err
+		}
+		total += stats.Time
+
+		// Host-side: retire resolved items, advance watermarks.
+		idx := 0
+		progress := false
+		for b := range perBlock {
+			var rest []workItem
+			for _, it := range perBlock[b] {
+				if resolved[idx] {
+					progress = true
+				} else {
+					rest = append(rest, it)
+				}
+				idx++
+			}
+			perBlock[b] = rest
+			if len(rest) > 0 {
+				watermark[b] = rest[0].writePos
+			} else {
+				watermark[b] = b*in.BlockSize + in.RawLens[b]
+			}
+		}
+		if !progress {
+			return 0, 0, fmt.Errorf("kernels: MRR-global stalled with %d pending", pending)
+		}
+		pending = 0
+		for _, l := range perBlock {
+			pending += len(l)
+		}
+	}
+	return total, rounds, nil
+}

@@ -1,0 +1,81 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+
+	"gompresso/internal/lz77"
+)
+
+func TestMRRGlobalMatchesReference(t *testing.T) {
+	src := testCorpus()
+	const blockSize = 64 << 10
+	streams, rawLens := splitBlocks(t, src, blockSize, lz77.Options{})
+	in := LZ77Input{RawLens: rawLens, BlockSize: blockSize, Out: make([]byte, len(src))}
+	for _, ts := range streams {
+		in.Tokens = append(in.Tokens, FromTokenStream(ts))
+	}
+	total, rounds, err := MRRGlobalLaunch(testDevice(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in.Out, src) {
+		t.Fatal("MRR-global output mismatch")
+	}
+	if total <= 0 || rounds < 1 {
+		t.Fatalf("total %v rounds %d", total, rounds)
+	}
+}
+
+// The paper's conclusion (§V-A): the multi-kernel variant does not beat
+// in-warp MRR, because of worklist traffic and per-round launch overhead.
+func TestMRRGlobalNoFasterThanMRR(t *testing.T) {
+	src := testCorpus()
+	const blockSize = 64 << 10
+	streams, rawLens := splitBlocks(t, src, blockSize, lz77.Options{})
+	mk := func() LZ77Input {
+		in := LZ77Input{RawLens: rawLens, BlockSize: blockSize, Out: make([]byte, len(src))}
+		for _, ts := range streams {
+			in.Tokens = append(in.Tokens, FromTokenStream(ts))
+		}
+		return in
+	}
+	inWarp := mk()
+	warpStats, _, err := LZ77Launch(testDevice(), inWarp, MRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inGlobal := mk()
+	globalTotal, _, err := MRRGlobalLaunch(testDevice(), inGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if globalTotal < warpStats.Time*0.9 {
+		t.Fatalf("MRR-global (%.3gs) substantially faster than in-warp MRR (%.3gs) — contradicts the paper",
+			globalTotal, warpStats.Time)
+	}
+}
+
+func TestMRRGlobalOnDEStream(t *testing.T) {
+	// DE streams have no intra-group dependencies, but the global variant's
+	// block-sequential watermark cannot see group boundaries, so it still
+	// peels roughly one warp group per round — the "increased complexity of
+	// tracking when a dependency can be resolved" that made the paper
+	// reject this variant. The in-warp DE strategy needs exactly one round.
+	src := testCorpus()
+	streams, rawLens := splitBlocks(t, src, 64<<10, lz77.Options{DE: lz77.DEStrict})
+	in := LZ77Input{RawLens: rawLens, BlockSize: 64 << 10, Out: make([]byte, len(src))}
+	for _, ts := range streams {
+		in.Tokens = append(in.Tokens, FromTokenStream(ts))
+	}
+	_, rounds, err := MRRGlobalLaunch(testDevice(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in.Out, src) {
+		t.Fatal("output mismatch")
+	}
+	if rounds < 2 {
+		t.Fatalf("expected the conservative watermark to need many rounds, got %d", rounds)
+	}
+}

@@ -1,0 +1,87 @@
+package kernels
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gompresso/internal/gpu"
+	"gompresso/internal/lz77"
+)
+
+// Property: for random structured inputs, every strategy × parse-mode
+// combination the format permits produces output identical to the
+// sequential reference decoder, and MRR's round structure matches the
+// analytical oracle.
+func TestQuickStrategiesMatchReference(t *testing.T) {
+	dev := testDevice()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1024 + rng.Intn(64<<10)
+		src := make([]byte, n)
+		for i := 0; i < n; {
+			switch rng.Intn(3) {
+			case 0: // repeated phrase
+				phrase := []byte("seq-" + string(rune('a'+rng.Intn(26))) + "-block ")
+				for j := 0; j < 4+rng.Intn(40) && i < n; j++ {
+					src[i] = phrase[j%len(phrase)]
+					i++
+				}
+			case 1: // run
+				b := byte(rng.Intn(4))
+				for j := 0; j < 1+rng.Intn(100) && i < n; j++ {
+					src[i] = b
+					i++
+				}
+			default:
+				src[i] = byte(rng.Intn(256))
+				i++
+			}
+		}
+		blockSize := 8 << 10 << rng.Intn(3)
+		de := lz77.DEMode(rng.Intn(3))
+		streams, rawLens := splitBlocks(t, src, blockSize, lz77.Options{DE: de})
+
+		want := make([]byte, 0, n)
+		oracleRounds := 0
+		for _, ts := range streams {
+			part, err := ts.Decompress(nil)
+			if err != nil {
+				return false
+			}
+			want = append(want, part...)
+			if s := lz77.AnalyzeMRR(ts, gpu.WarpSize); s.MaxRounds > oracleRounds {
+				oracleRounds = s.MaxRounds
+			}
+		}
+		if !bytes.Equal(want, src) {
+			return false
+		}
+
+		strategies := []Strategy{SC, MRR}
+		if de != lz77.DEOff {
+			strategies = append(strategies, DE)
+		}
+		for _, strat := range strategies {
+			in := LZ77Input{RawLens: rawLens, BlockSize: blockSize, Out: make([]byte, len(src))}
+			for _, ts := range streams {
+				in.Tokens = append(in.Tokens, FromTokenStream(ts))
+			}
+			_, rounds, err := LZ77Launch(dev, in, strat)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(in.Out, src) {
+				return false
+			}
+			if strat == MRR && rounds.MaxRounds != oracleRounds {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

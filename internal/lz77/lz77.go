@@ -1,0 +1,223 @@
+// Package lz77 implements the LZ77 layer of Gompresso: parsing input into
+// sequences (literal string + back-reference pairs, paper §III-B2), the
+// Dependency-Elimination compressor variant (paper §IV-B, Fig. 7), a
+// sequential reference decompressor, and analyzers for back-reference
+// nesting depth used by the Multi-Round Resolution experiments.
+package lz77
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Defaults mirror the paper's experimental setup (§V): an 8 KB sliding
+// window, 64-byte match lookahead, and warps of 32 sequences.
+const (
+	DefaultWindow    = 8 << 10
+	DefaultMinMatch  = 4
+	DefaultMaxMatch  = 64
+	DefaultMaxChain  = 64
+	DefaultGroupSize = 32
+	DefaultStaleness = 1 << 10 // paper §IV-B: 1K minimal staleness
+	MaxWindow        = 1 << 20
+)
+
+// DEMode selects how the Dependency-Elimination parse constrains matches.
+type DEMode int
+
+const (
+	// DEOff emits unrestricted matches (normal LZ77); decompression needs
+	// MRR (or sequential copying) to resolve intra-warp dependencies.
+	DEOff DEMode = iota
+	// DEStrict is the paper's Fig. 7 rule: a match's source interval must end
+	// at or below the warp high-water mark (the input position completed
+	// before the current group of 32 sequences began). Guarantees one-round
+	// back-reference resolution.
+	DEStrict
+	// DELit additionally allows matches into literal intervals already
+	// emitted within the current group. Those bytes are written in the
+	// literal phase before any back-reference resolves, so decompression
+	// still needs only one round. This is an ablation on the paper's rule
+	// that recovers some ratio at block starts.
+	DELit
+)
+
+func (m DEMode) String() string {
+	switch m {
+	case DEOff:
+		return "off"
+	case DEStrict:
+		return "strict"
+	case DELit:
+		return "strict+lit"
+	default:
+		return fmt.Sprintf("DEMode(%d)", int(m))
+	}
+}
+
+// Seq is one sequence: LitLen literal bytes (taken from the shared literal
+// buffer) followed by a back-reference of MatchLen bytes at distance Offset.
+// MatchLen == 0 denotes a literal-only sequence (the final sequence of a
+// block, or a forced close in the DE parse near block starts).
+type Seq struct {
+	LitLen   uint32
+	MatchLen uint32
+	Offset   uint32
+}
+
+// TokenStream is the parsed form of one data block.
+type TokenStream struct {
+	Literals []byte // concatenation of all literal strings, in order
+	Seqs     []Seq
+	RawLen   int // uncompressed block length
+}
+
+// Options configures the parser.
+type Options struct {
+	Window    int    // sliding window size; matches cannot start earlier than pos-Window
+	MinMatch  int    // minimum match length (3 or 4)
+	MaxMatch  int    // maximum match length (lookahead)
+	MaxChain  int    // hash-chain search depth for the chain matcher
+	DE        DEMode // dependency elimination mode
+	GroupSize int    // sequences per warp group (DE granularity)
+	// Staleness activates the LZ4-style single-entry hash matcher with the
+	// paper's minimal-staleness replacement policy (§IV-B) instead of hash
+	// chains. Zero selects hash chains.
+	Staleness int
+	// MaxLitRun forces a literal-only sequence close after this many literal
+	// bytes without a match. Required for DEStrict termination at block
+	// starts (no matches can exist below warpHWM = 0); harmless otherwise.
+	// Zero means 4*MaxMatch.
+	MaxLitRun int
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.MinMatch == 0 {
+		o.MinMatch = DefaultMinMatch
+	}
+	if o.MaxMatch == 0 {
+		o.MaxMatch = DefaultMaxMatch
+	}
+	if o.MaxChain == 0 {
+		o.MaxChain = DefaultMaxChain
+	}
+	if o.GroupSize == 0 {
+		o.GroupSize = DefaultGroupSize
+	}
+	if o.MaxLitRun == 0 {
+		o.MaxLitRun = 4 * o.MaxMatch
+	}
+	return o
+}
+
+// validate rejects nonsensical configurations.
+func (o Options) validate() error {
+	switch {
+	case o.Window < 16 || o.Window > MaxWindow:
+		return fmt.Errorf("lz77: window %d out of range", o.Window)
+	case o.MinMatch < 3 || o.MinMatch > 16:
+		return fmt.Errorf("lz77: min match %d out of range", o.MinMatch)
+	case o.MaxMatch < o.MinMatch:
+		return fmt.Errorf("lz77: max match %d < min match %d", o.MaxMatch, o.MinMatch)
+	case o.MaxMatch > 1<<16:
+		return fmt.Errorf("lz77: max match %d too large", o.MaxMatch)
+	case o.GroupSize < 1 || o.GroupSize > 1024:
+		return fmt.Errorf("lz77: group size %d out of range", o.GroupSize)
+	}
+	return nil
+}
+
+// ErrCorrupt reports a token stream that does not describe a valid block.
+var ErrCorrupt = errors.New("lz77: corrupt token stream")
+
+// Decompress sequentially reconstructs the block. It is the reference
+// decoder used to validate the parallel kernels. dst must have capacity for
+// RawLen bytes; the decompressed block is returned.
+func (ts *TokenStream) Decompress(dst []byte) ([]byte, error) {
+	dst = dst[:0]
+	lit := ts.Literals
+	for si := range ts.Seqs {
+		s := &ts.Seqs[si]
+		if int(s.LitLen) > len(lit) {
+			return nil, fmt.Errorf("%w: literal overrun at seq %d", ErrCorrupt, si)
+		}
+		dst = append(dst, lit[:s.LitLen]...)
+		lit = lit[s.LitLen:]
+		if s.MatchLen == 0 {
+			continue
+		}
+		off := int(s.Offset)
+		if off <= 0 || off > len(dst) {
+			return nil, fmt.Errorf("%w: offset %d at seq %d (have %d bytes)", ErrCorrupt, off, si, len(dst))
+		}
+		// Byte-wise copy handles overlapping (RLE-style) matches.
+		start := len(dst) - off
+		for i := 0; i < int(s.MatchLen); i++ {
+			dst = append(dst, dst[start+i])
+		}
+	}
+	if len(lit) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing literal bytes", ErrCorrupt, len(lit))
+	}
+	if ts.RawLen != 0 && len(dst) != ts.RawLen {
+		return nil, fmt.Errorf("%w: decompressed %d bytes, header says %d", ErrCorrupt, len(dst), ts.RawLen)
+	}
+	return dst, nil
+}
+
+// Validate structurally checks the stream without materializing output.
+func (ts *TokenStream) Validate() error {
+	var out, lit int
+	for si := range ts.Seqs {
+		s := &ts.Seqs[si]
+		lit += int(s.LitLen)
+		if lit > len(ts.Literals) {
+			return fmt.Errorf("%w: literal overrun at seq %d", ErrCorrupt, si)
+		}
+		out += int(s.LitLen)
+		if s.MatchLen > 0 {
+			if int(s.Offset) <= 0 || int(s.Offset) > out {
+				return fmt.Errorf("%w: offset %d at seq %d", ErrCorrupt, s.Offset, si)
+			}
+			out += int(s.MatchLen)
+		}
+	}
+	if lit != len(ts.Literals) {
+		return fmt.Errorf("%w: %d literal bytes unused", ErrCorrupt, len(ts.Literals)-lit)
+	}
+	if ts.RawLen != 0 && out != ts.RawLen {
+		return fmt.Errorf("%w: stream describes %d bytes, header says %d", ErrCorrupt, out, ts.RawLen)
+	}
+	return nil
+}
+
+// CompressedSizeByte estimates the Gompresso/Byte wire size of the stream
+// (used by ratio experiments before any container overhead).
+func (ts *TokenStream) CompressedSizeByte() int {
+	size := len(ts.Literals)
+	for _, s := range ts.Seqs {
+		size += seqHeaderSizeByte(s)
+	}
+	return size
+}
+
+// seqHeaderSizeByte mirrors the byte-level encoding in internal/format:
+// 1 token byte + LZ4-style length extensions + 2-byte offset when a match is
+// present.
+func seqHeaderSizeByte(s Seq) int {
+	size := 1
+	if s.LitLen >= 15 {
+		size += int(s.LitLen-15)/255 + 1
+	}
+	if s.MatchLen > 0 {
+		size += 2
+		if s.MatchLen >= 15 {
+			size += int(s.MatchLen-15)/255 + 1
+		}
+	}
+	return size
+}

@@ -1,0 +1,114 @@
+package lz77
+
+import "math"
+
+// Parse compresses one block into a token stream. With opts.DE == DEOff this
+// is a conventional greedy LZ77 parse; otherwise it runs the
+// Dependency-Elimination parse of paper Fig. 7.
+func Parse(src []byte, opts Options) (*TokenStream, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.DE != DEOff {
+		return parseDE(src, opts)
+	}
+	return parseGreedy(src, opts)
+}
+
+// parseGreedy is the unrestricted parse: matches may reference any window
+// position, including overlapping the match's own output (offset < length).
+func parseGreedy(src []byte, opts Options) (*TokenStream, error) {
+	ts := &TokenStream{RawLen: len(src)}
+	m := newMatcher(opts, len(src))
+	pos, litStart := 0, 0
+	for pos < len(src) {
+		off, l := m.find(src, pos, math.MaxInt32, opts.MaxMatch)
+		if l >= opts.MinMatch {
+			ts.Literals = append(ts.Literals, src[litStart:pos]...)
+			ts.Seqs = append(ts.Seqs, Seq{
+				LitLen:   uint32(pos - litStart),
+				MatchLen: uint32(l),
+				Offset:   uint32(off),
+			})
+			end := pos + l
+			for ; pos < end; pos++ {
+				m.insert(src, pos)
+			}
+			litStart = pos
+			continue
+		}
+		m.insert(src, pos)
+		pos++
+	}
+	if litStart < len(src) || len(ts.Seqs) == 0 {
+		ts.Literals = append(ts.Literals, src[litStart:]...)
+		ts.Seqs = append(ts.Seqs, Seq{LitLen: uint32(len(src) - litStart)})
+	}
+	return ts, nil
+}
+
+// parseDE is the modified compressor of paper Fig. 7. For each group of
+// GroupSize sequences it fixes warpHWM to the input position completed
+// before the group started and only accepts matches whose source interval is
+// fully available to the decompressing warp in its single back-reference
+// round:
+//
+//   - DEStrict: source end ≤ warpHWM (the paper's rule), or
+//   - DELit: additionally, source end within the gapless run of literal
+//     bytes at the start of the current group (those are written in the
+//     literal phase before back-references resolve).
+//
+// Because no match can exist below warpHWM at a block start, a literal run is
+// force-closed as a null-match sequence after MaxLitRun bytes so the group
+// makes progress (the paper's pseudocode leaves this case implicit).
+func parseDE(src []byte, opts Options) (*TokenStream, error) {
+	ts := &TokenStream{RawLen: len(src)}
+	m := newMatcher(opts, len(src))
+	pos, litStart := 0, 0
+	for pos < len(src) {
+		warpHWM := pos
+		// availEnd is the input position below which every byte is available
+		// during the group's back-reference round. For DELit it tracks the
+		// cursor until the group's first match freezes it.
+		availEnd := warpHWM
+		frozen := opts.DE != DELit
+		for s := 0; s < opts.GroupSize && pos < len(src); {
+			if !frozen {
+				availEnd = pos
+			}
+			off, l := m.find(src, pos, availEnd, opts.MaxMatch)
+			if l >= opts.MinMatch {
+				ts.Literals = append(ts.Literals, src[litStart:pos]...)
+				ts.Seqs = append(ts.Seqs, Seq{
+					LitLen:   uint32(pos - litStart),
+					MatchLen: uint32(l),
+					Offset:   uint32(off),
+				})
+				frozen = true
+				end := pos + l
+				for ; pos < end; pos++ {
+					m.insert(src, pos)
+				}
+				litStart = pos
+				s++
+				continue
+			}
+			m.insert(src, pos)
+			pos++
+			if pos-litStart >= opts.MaxLitRun {
+				// Force-close so the group (and block starts, where no match
+				// below HWM can exist) terminates.
+				ts.Literals = append(ts.Literals, src[litStart:pos]...)
+				ts.Seqs = append(ts.Seqs, Seq{LitLen: uint32(pos - litStart)})
+				litStart = pos
+				s++
+			}
+		}
+	}
+	if litStart < len(src) || len(ts.Seqs) == 0 {
+		ts.Literals = append(ts.Literals, src[litStart:]...)
+		ts.Seqs = append(ts.Seqs, Seq{LitLen: uint32(len(src) - litStart)})
+	}
+	return ts, nil
+}
