@@ -6,6 +6,7 @@ package gompresso_test
 
 import (
 	"bytes"
+	"io"
 	"sync"
 	"testing"
 
@@ -32,18 +33,36 @@ func corpora() ([]byte, []byte) {
 	return wikiData, matrixData
 }
 
-// compressFor caches compressed streams per (variant, DE, data) so benches
+// corpusName keys the compression cache. Keying on the corpus name rather
+// than &data[0] means cached entries cannot alias if a corpus is ever
+// regenerated at a recycled allocation address.
+func corpusName(data []byte) string {
+	w, m := corpora()
+	switch {
+	case len(data) == len(w) && &data[0] == &w[0]:
+		return "wiki"
+	case len(data) == len(m) && &data[0] == &m[0]:
+		return "matrix"
+	default:
+		return "unknown"
+	}
+}
+
+// compressFor caches compressed streams per (variant, DE, corpus) so benches
 // time decompression only.
 var compCache sync.Map
 
 func compressFor(b *testing.B, data []byte, variant gompresso.Variant, de gompresso.DEMode) []byte {
 	b.Helper()
 	type key struct {
-		v  gompresso.Variant
-		de gompresso.DEMode
-		p  *byte
+		v      gompresso.Variant
+		de     gompresso.DEMode
+		corpus string
 	}
-	k := key{variant, de, &data[0]}
+	k := key{variant, de, corpusName(data)}
+	if k.corpus == "unknown" {
+		b.Fatalf("compressFor: data is not a named corpus")
+	}
 	if v, ok := compCache.Load(k); ok {
 		return v.([]byte)
 	}
@@ -211,7 +230,8 @@ func BenchmarkFig14_Energy(b *testing.B) {
 	b.ReportMetric(joules, "J/GB")
 }
 
-// Host-engine reference decompression, for comparison with the baselines.
+// Host-engine decompression through the fused fast path, for comparison
+// with the baselines.
 func BenchmarkHostEngine_Bit(b *testing.B) {
 	w, _ := corpora()
 	comp := compressFor(b, w, gompresso.VariantBit, gompresso.DEStrict)
@@ -222,5 +242,52 @@ func BenchmarkHostEngine_Bit(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// The materializing reference pipeline, kept benchmarked so the fast path's
+// advantage stays visible over time.
+func BenchmarkHostEngine_Bit_Reference(b *testing.B) {
+	w, _ := corpora()
+	comp := compressFor(b, w, gompresso.VariantBit, gompresso.DEStrict)
+	b.SetBytes(int64(len(w)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+			Engine: gompresso.EngineHost, HostReference: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Host-engine decompression of the Byte variant (fused, no token stream).
+func BenchmarkHostEngine_Byte(b *testing.B) {
+	w, _ := corpora()
+	comp := compressFor(b, w, gompresso.VariantByte, gompresso.DEStrict)
+	b.SetBytes(int64(len(w)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+			Engine: gompresso.EngineHost,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Streaming decompression through gompresso.NewReader.
+func BenchmarkStreamReader_Bit(b *testing.B) {
+	w, _ := corpora()
+	comp := compressFor(b, w, gompresso.VariantBit, gompresso.DEStrict)
+	b.SetBytes(int64(len(w)))
+	for i := 0; i < b.N; i++ {
+		r, err := gompresso.NewReader(bytes.NewReader(comp))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, r)
+		if err != nil || n != int64(len(w)) {
+			b.Fatalf("streamed %d bytes, err %v", n, err)
+		}
+		r.Close()
 	}
 }

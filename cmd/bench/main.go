@@ -1,0 +1,185 @@
+// Command bench runs the repository's figure and host-engine benchmarks
+// in-process and writes a machine-readable BENCH_<n>.json so the performance
+// trajectory is tracked from PR to PR (see EXPERIMENTS.md).
+//
+//	go run ./cmd/bench                 # full run, writes BENCH_1.json
+//	go run ./cmd/bench -short          # CI smoke: small corpus, 1 iteration
+//	go run ./cmd/bench -o results.json # custom output path
+//
+// Device-engine rows report the modeled simulator throughput ("sim-GB/s",
+// the paper-figure quantity); host rows report measured wall-clock GB/s.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"gompresso"
+	"gompresso/internal/datagen"
+)
+
+// seedHostBitMBps is the pre-optimization BenchmarkHostEngine_Bit
+// throughput measured at the seed commit (byte-at-a-time match copies,
+// TokenStream materialization): mean of three 20-iteration runs on the PR-1
+// build machine. Kept here so every BENCH_<n>.json carries the baseline the
+// fast path is compared against.
+const seedHostBitMBps = 90.6
+
+type result struct {
+	Name     string  `json:"name"`
+	SimGBps  float64 `json:"sim_gbps,omitempty"`
+	HostGBps float64 `json:"host_gbps"`
+}
+
+type report struct {
+	Generated    string   `json:"generated"`
+	GoVersion    string   `json:"go_version"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	CorpusBytes  int      `json:"corpus_bytes"`
+	Iterations   int      `json:"iterations"`
+	Benchmarks   []result `json:"benchmarks"`
+	HostFastPath struct {
+		SeedBaselineMBps float64 `json:"seed_baseline_mbps"`
+		ReferenceMBps    float64 `json:"reference_mbps"`
+		OptimizedMBps    float64 `json:"optimized_mbps"`
+		SpeedupVsSeed    float64 `json:"speedup_vs_seed"`
+	} `json:"host_fast_path"`
+}
+
+func main() {
+	size := flag.Int("size", 8<<20, "corpus size in bytes")
+	iters := flag.Int("iters", 3, "timed iterations per benchmark (best is reported)")
+	out := flag.String("o", "BENCH_1.json", "output JSON path")
+	short := flag.Bool("short", false, "smoke mode: 2 MB corpus, 1 iteration")
+	flag.Parse()
+	if *short {
+		*size = 2 << 20
+		*iters = 1
+	}
+
+	wiki := datagen.WikiXML(*size, 1)
+
+	compress := func(variant gompresso.Variant, de gompresso.DEMode, blockSize int) []byte {
+		comp, _, err := gompresso.Compress(wiki, gompresso.Options{Variant: variant, DE: de, BlockSize: blockSize})
+		if err != nil {
+			fatal("compress: %v", err)
+		}
+		return comp
+	}
+	byteOff := compress(gompresso.VariantByte, gompresso.DEOff, 0)
+	byteDE := compress(gompresso.VariantByte, gompresso.DEStrict, 0)
+	bitDE := compress(gompresso.VariantBit, gompresso.DEStrict, 0)
+
+	// device measures a device-engine configuration: sim-GB/s is modeled,
+	// host GB/s is the wall clock of the whole simulated run.
+	device := func(name string, comp []byte, strat gompresso.Strategy, pcie gompresso.PCIeMode) result {
+		var best result
+		for i := 0; i < *iters; i++ {
+			start := time.Now()
+			outBuf, ds, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+				Engine: gompresso.EngineDevice, Strategy: strat, PCIe: pcie, TileTo: 1 << 30,
+			})
+			if err != nil {
+				fatal("%s: %v", name, err)
+			}
+			if i == 0 && !bytes.Equal(outBuf, wiki) {
+				fatal("%s: roundtrip mismatch", name)
+			}
+			host := float64(len(wiki)) / time.Since(start).Seconds() / 1e9
+			sim := float64(ds.RawSize) / ds.SimSeconds / 1e9
+			if host > best.HostGBps {
+				best = result{Name: name, SimGBps: sim, HostGBps: host}
+			}
+		}
+		return best
+	}
+	// host measures a host-engine decompression closure.
+	host := func(name string, fn func() int) result {
+		var best float64
+		for i := 0; i < *iters; i++ {
+			start := time.Now()
+			n := fn()
+			if gbps := float64(n) / time.Since(start).Seconds() / 1e9; gbps > best {
+				best = gbps
+			}
+		}
+		return result{Name: name, HostGBps: best}
+	}
+	decompressHost := func(comp []byte, ref bool) int {
+		outBuf, _, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
+			Engine: gompresso.EngineHost, HostReference: ref,
+		})
+		if err != nil {
+			fatal("host decompress: %v", err)
+		}
+		return len(outBuf)
+	}
+
+	var rep report
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.GoVersion = runtime.Version()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.CorpusBytes = *size
+	rep.Iterations = *iters
+
+	rep.Benchmarks = append(rep.Benchmarks,
+		device("Fig09a_Wikipedia_SC", byteOff, gompresso.SC, gompresso.PCIeNone),
+		device("Fig09a_Wikipedia_MRR", byteOff, gompresso.MRR, gompresso.PCIeNone),
+		device("Fig09a_Wikipedia_DE", byteDE, gompresso.DE, gompresso.PCIeNone),
+		device("Fig12_GompBit_InOut", bitDE, gompresso.DE, gompresso.PCIeInOut),
+		device("Fig13_GompBit_InOut", bitDE, gompresso.DE, gompresso.PCIeInOut),
+	)
+
+	fast := host("HostEngine_Bit", func() int { return decompressHost(bitDE, false) })
+	ref := host("HostEngine_Bit_Reference", func() int { return decompressHost(bitDE, true) })
+	rep.Benchmarks = append(rep.Benchmarks, fast, ref,
+		host("HostEngine_Byte", func() int { return decompressHost(byteDE, false) }),
+		host("StreamReader_Bit", func() int {
+			r, err := gompresso.NewReader(bytes.NewReader(bitDE))
+			if err != nil {
+				fatal("stream: %v", err)
+			}
+			defer r.Close()
+			n, err := io.Copy(io.Discard, r)
+			if err != nil {
+				fatal("stream: %v", err)
+			}
+			return int(n)
+		}),
+	)
+
+	rep.HostFastPath.SeedBaselineMBps = seedHostBitMBps
+	rep.HostFastPath.ReferenceMBps = ref.HostGBps * 1000
+	rep.HostFastPath.OptimizedMBps = fast.HostGBps * 1000
+	rep.HostFastPath.SpeedupVsSeed = rep.HostFastPath.OptimizedMBps / seedHostBitMBps
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, r := range rep.Benchmarks {
+		if r.SimGBps > 0 {
+			fmt.Printf("  %-28s %8.2f sim-GB/s  %6.3f host-GB/s\n", r.Name, r.SimGBps, r.HostGBps)
+		} else {
+			fmt.Printf("  %-28s %28.3f host-GB/s\n", r.Name, r.HostGBps)
+		}
+	}
+	fmt.Printf("  host fast path: %.0f MB/s vs %.0f MB/s seed baseline (%.2fx)\n",
+		rep.HostFastPath.OptimizedMBps, seedHostBitMBps, rep.HostFastPath.SpeedupVsSeed)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module gompresso
+
+go 1.24

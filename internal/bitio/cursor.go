@@ -1,0 +1,105 @@
+package bitio
+
+import "encoding/binary"
+
+// Cursor is the fast-path counterpart of Reader: an LSB-first bit cursor
+// whose accumulator stays in registers across symbols. Its methods are small
+// enough to inline, so a decode loop pays no call overhead per symbol — the
+// batched-decode primitive the fused Huffman paths are built on.
+//
+// Protocol: call Refill, then consume at most 56 bits through Peek/Skip/Bits
+// before the next Refill. Refill loads eight bytes at a time while they are
+// available and falls back to a byte loop near the end of the buffer, where
+// missing bits read as zero (the usual convention for LUT decoding at end of
+// stream). There is no per-bit error path: consuming past the end of data is
+// detected after the fact with Overrun, and position accounting is derived
+// from the cursor state (Consumed), so Skip and Bits compile to a couple of
+// register ops.
+type Cursor struct {
+	data []byte
+	next int    // index of the next byte to load
+	acc  uint64 // bit buffer, next bit is LSB
+	nacc uint   // valid bits in acc
+	base int64  // absolute bit offset the cursor started at
+}
+
+// NewCursor returns a Cursor over data starting at absolute bit offset
+// bitOff. Consumed is relative to bitOff.
+func NewCursor(data []byte, bitOff int64) Cursor {
+	c := Cursor{data: data, next: int(bitOff >> 3), base: bitOff}
+	if rem := uint(bitOff & 7); rem > 0 {
+		c.refillSlow()
+		c.acc >>= rem
+		c.nacc -= rem
+	}
+	return c
+}
+
+// Refill tops the accumulator up to at least 56 valid bits (fewer only near
+// the end of data). The fast path loads a whole little-endian word and
+// advances by the bytes that fit; re-loading a partially consumed byte ORs
+// identical bits, so it is harmless.
+func (c *Cursor) Refill() {
+	if c.next+8 <= len(c.data) {
+		c.acc |= binary.LittleEndian.Uint64(c.data[c.next:]) << c.nacc
+		adv := (63 - c.nacc) >> 3
+		c.next += int(adv)
+		c.nacc += adv << 3
+		return
+	}
+	c.refillSlow()
+}
+
+func (c *Cursor) refillSlow() {
+	for c.nacc <= 56 && c.next < len(c.data) {
+		c.acc |= uint64(c.data[c.next]) << c.nacc
+		c.next++
+		c.nacc += 8
+	}
+}
+
+// Buffered reports the valid bits currently in the accumulator. Decode loops
+// use it to refill only when the buffer is actually low — entropy-coded
+// symbols average far fewer bits than their worst case, so `if Buffered() <
+// worstCase { Refill() }` skips most refills (and both halves inline, which
+// a combined ensure-method would not).
+func (c *Cursor) Buffered() uint { return c.nacc }
+
+// Peek returns the next n bits without consuming them; bits past the end of
+// data read as zero. n must be ≤ 56 and covered by the preceding Refill.
+func (c *Cursor) Peek(n uint) uint64 { return c.acc & (1<<n - 1) }
+
+// Window returns the upcoming bits selected by a precomputed mask (a LUT's
+// size-1). Equivalent to Peek(log2(mask+1)) with one op less in the symbol
+// loop.
+func (c *Cursor) Window(mask uint64) uint64 { return c.acc & mask }
+
+// Skip consumes n bits. n must not exceed the valid bits from the preceding
+// Refill; consuming past end-of-data is caught later via Overrun.
+func (c *Cursor) Skip(n uint) {
+	c.acc >>= n
+	c.nacc -= n
+}
+
+// Bits consumes and returns the next n bits (n ≤ 56, covered by the
+// preceding Refill).
+func (c *Cursor) Bits(n uint) uint64 {
+	v := c.acc & (1<<n - 1)
+	c.Skip(n)
+	return v
+}
+
+// Overrun reports whether the cursor has consumed bits past the end of data.
+// A Skip larger than the bits actually remaining underflows nacc (a uint),
+// which is irreversible: refills are no-ops once the data is exhausted, so
+// the underflow persists and one check at the end of a decode covers the
+// whole run. Mid-buffer underflow is impossible — Refill guarantees ≥ 56
+// valid bits while ≥ 8 bytes remain, and the protocol caps consumption at 56
+// bits per refill.
+func (c *Cursor) Overrun() bool { return c.nacc > 64 }
+
+// Consumed reports the number of bits consumed since the cursor was created.
+// Only meaningful when !Overrun().
+func (c *Cursor) Consumed() int64 {
+	return int64(c.next)*8 - int64(c.nacc) - c.base
+}

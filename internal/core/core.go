@@ -8,7 +8,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"gompresso/internal/format"
@@ -16,6 +15,7 @@ import (
 	"gompresso/internal/huffman"
 	"gompresso/internal/kernels"
 	"gompresso/internal/lz77"
+	"gompresso/internal/parallel"
 )
 
 // Options configures compression. The zero value compresses with the paper's
@@ -121,41 +121,33 @@ func Compress(src []byte, o Options) ([]byte, *CompressStats, error) {
 		err error
 	}
 	results := make([]result, nb)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.Workers)
-	for i := 0; i < nb; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			lo := i * o.BlockSize
-			hi := lo + o.BlockSize
-			if hi > len(src) {
-				hi = len(src)
+	parallel.For(nb, o.Workers, func(i int) {
+		lo := i * o.BlockSize
+		hi := lo + o.BlockSize
+		if hi > len(src) {
+			hi = len(src)
+		}
+		ts, err := lz77.Parse(src[lo:hi], lzOpts)
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		blk := format.Block{RawLen: hi - lo, NumSeqs: len(ts.Seqs)}
+		if o.Variant == format.VariantByte {
+			blk.Payload, err = format.EncodeByte(ts)
+		} else {
+			var bb *format.BitBlock
+			bb, err = format.EncodeBit(ts, o.CWL, o.SeqsPerSub)
+			if err == nil {
+				blk.Payload = bb.Payload
+				blk.LitLenLengths = bb.LitLenLengths
+				blk.OffLengths = bb.OffLengths
+				blk.SubBits = bb.SubBits
+				blk.SubLits = bb.SubLits
 			}
-			ts, err := lz77.Parse(src[lo:hi], lzOpts)
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			blk := format.Block{RawLen: hi - lo, NumSeqs: len(ts.Seqs)}
-			if o.Variant == format.VariantByte {
-				blk.Payload, err = format.EncodeByte(ts)
-			} else {
-				var bb *format.BitBlock
-				bb, err = format.EncodeBit(ts, o.CWL, o.SeqsPerSub)
-				if err == nil {
-					blk.Payload = bb.Payload
-					blk.LitLenLengths = bb.LitLenLengths
-					blk.OffLengths = bb.OffLengths
-					blk.SubBits = bb.SubBits
-					blk.SubLits = bb.SubLits
-				}
-			}
-			results[i] = result{blk: blk, ts: ts, err: err}
-		}(i)
-	}
-	wg.Wait()
+		}
+		results[i] = result{blk: blk, ts: ts, err: err}
+	})
 
 	stats := &CompressStats{RawSize: int64(len(src)), Blocks: nb}
 	h := format.FileHeader{
@@ -243,6 +235,11 @@ type DecompressOptions struct {
 	Device   *gpu.Device      // nil selects a simulated Tesla K40
 	PCIe     PCIeMode
 	Workers  int // host engine goroutines
+	// HostReference forces the host engine through the reference pipeline
+	// (DecodeBit/DecodeByte into a TokenStream, then TokenStream.Decompress)
+	// instead of the fused fast path. Used for validation and as the
+	// baseline in benchmarks; output is byte-identical either way.
+	HostReference bool
 	// TileTo, when > 0, makes the device time model behave as if the input
 	// were replicated to TileTo raw bytes. The paper's evaluation uses 1 GB
 	// datasets, which keep the device full; smaller reproductions would
@@ -314,25 +311,22 @@ func Decompress(data []byte, o DecompressOptions) ([]byte, *DecompressStats, err
 	return out, stats, nil
 }
 
-// decompressHost is the block-parallel reference path.
+// decompressHost is the block-parallel host path. By default each block runs
+// the fused fast path (bitstream→output in one pass, pooled decoder tables,
+// chunked match copies, zero steady-state allocations); with o.HostReference
+// it runs the materializing reference pipeline instead.
 func decompressHost(f *format.File, out []byte, o DecompressOptions) error {
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	bs := int(f.Header.BlockSize)
+	byteVariant := f.Header.Variant == format.VariantByte
 	errs := make([]error, len(f.Blocks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range f.Blocks {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			blk := &f.Blocks[i]
+	parallel.For(len(f.Blocks), o.Workers, func(i int) {
+		blk := &f.Blocks[i]
+		dst := out[i*bs : i*bs+blk.RawLen : i*bs+blk.RawLen]
+		switch {
+		case o.HostReference:
 			var ts *lz77.TokenStream
 			var err error
-			if f.Header.Variant == format.VariantByte {
+			if byteVariant {
 				ts, err = format.DecodeByte(blk.Payload, blk.NumSeqs, blk.RawLen)
 			} else {
 				ts, err = f.BitBlockOf(i).DecodeBit(blk.RawLen)
@@ -341,16 +335,29 @@ func decompressHost(f *format.File, out []byte, o DecompressOptions) error {
 				errs[i] = err
 				return
 			}
-			// Decompress directly into the block's region of the output
-			// buffer: length 0, capacity exactly RawLen, so appends fill the
+			// Decompress into the block's region of the output buffer:
+			// length 0, capacity exactly RawLen, so the writes fill the
 			// region without reallocating.
-			dst := out[i*bs : i*bs : i*bs+blk.RawLen]
-			if _, err := ts.Decompress(dst); err != nil {
+			if _, err := ts.Decompress(dst[:0]); err != nil {
 				errs[i] = err
 			}
-		}(i)
-	}
-	wg.Wait()
+		case byteVariant:
+			errs[i] = format.DecodeByteInto(dst, blk.Payload, blk.NumSeqs)
+		default:
+			// Stack-allocated BitBlock view; the fused decode borrows pooled
+			// decoder scratch internally.
+			bb := format.BitBlock{
+				LitLenLengths: blk.LitLenLengths,
+				OffLengths:    blk.OffLengths,
+				SubBits:       blk.SubBits,
+				SubLits:       blk.SubLits,
+				Payload:       blk.Payload,
+				NumSeqs:       blk.NumSeqs,
+				SeqsPerSub:    int(f.Header.SeqsPerSub),
+			}
+			errs[i] = bb.DecodeBitInto(dst, nil)
+		}
+	})
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("core: block %d: %w", i, err)

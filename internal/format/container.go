@@ -111,18 +111,19 @@ func AppendBlock(dst []byte, variant Variant, b *Block) []byte {
 	return dst
 }
 
-// ParseFile parses a container. Block payloads alias data.
-func ParseFile(data []byte) (*File, error) {
+// ParseHeader decodes and validates the fixed-size file header. data must
+// hold at least HeaderSize bytes.
+func ParseHeader(data []byte) (FileHeader, error) {
+	var h FileHeader
 	if len(data) < headerSize {
-		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrFormat, len(data))
+		return h, fmt.Errorf("%w: short header (%d bytes)", ErrFormat, len(data))
 	}
 	if [4]byte(data[:4]) != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, data[:4])
+		return h, fmt.Errorf("%w: bad magic %q", ErrFormat, data[:4])
 	}
 	if data[4] != 1 {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
+		return h, fmt.Errorf("%w: unsupported version %d", ErrFormat, data[4])
 	}
-	var h FileHeader
 	h.Variant = Variant(data[5])
 	h.DEMode = lz77.DEMode(data[6])
 	h.CWL = data[7]
@@ -134,13 +135,25 @@ func ParseFile(data []byte) (*File, error) {
 	h.SeqsPerSub = binary.LittleEndian.Uint16(data[29:])
 	h.NumBlocks = binary.LittleEndian.Uint32(data[31:])
 	if h.Variant != VariantByte && h.Variant != VariantBit {
-		return nil, fmt.Errorf("%w: unknown variant %d", ErrFormat, h.Variant)
+		return h, fmt.Errorf("%w: unknown variant %d", ErrFormat, h.Variant)
 	}
 	if h.Variant == VariantBit && (h.CWL == 0 || h.CWL > huffman.MaxCodeLen) {
-		return nil, fmt.Errorf("%w: CWL %d out of range", ErrFormat, h.CWL)
+		return h, fmt.Errorf("%w: CWL %d out of range", ErrFormat, h.CWL)
 	}
 	if h.NumBlocks > 1<<28 {
-		return nil, fmt.Errorf("%w: implausible block count %d", ErrFormat, h.NumBlocks)
+		return h, fmt.Errorf("%w: implausible block count %d", ErrFormat, h.NumBlocks)
+	}
+	return h, nil
+}
+
+// HeaderSize is the encoded size of the fixed file header.
+const HeaderSize = headerSize
+
+// ParseFile parses a container. Block payloads alias data.
+func ParseFile(data []byte) (*File, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, err
 	}
 	f := &File{Header: h}
 	rest := data[headerSize:]
@@ -157,6 +170,11 @@ func ParseFile(data []byte) (*File, error) {
 		if h.BlockSize != 0 && uint32(b.RawLen) > h.BlockSize {
 			return nil, fmt.Errorf("%w: block %d: raw length %d exceeds block size %d", ErrFormat, bi, b.RawLen, h.BlockSize)
 		}
+		// Decoders place block bi's output at bi*BlockSize, so every block
+		// except the last must be exactly full.
+		if bi != h.NumBlocks-1 && uint32(b.RawLen) != h.BlockSize {
+			return nil, fmt.Errorf("%w: block %d: non-final block is %d bytes, block size is %d", ErrFormat, bi, b.RawLen, h.BlockSize)
+		}
 		if h.Variant == VariantBit {
 			var err error
 			b.LitLenLengths, rest, err = huffman.ParseLengths(rest, LitLenSyms)
@@ -172,13 +190,24 @@ func ParseFile(data []byte) (*File, error) {
 			}
 			numSubs := int(binary.LittleEndian.Uint32(rest))
 			rest = rest[4:]
+			if h.SeqsPerSub == 0 {
+				return nil, fmt.Errorf("%w: block %d: zero sequences per sub-block", ErrFormat, bi)
+			}
 			want := 0
 			if b.NumSeqs > 0 {
 				want = (b.NumSeqs + int(h.SeqsPerSub) - 1) / int(h.SeqsPerSub)
 			}
-			if h.SeqsPerSub == 0 || numSubs != want {
+			if numSubs != want {
 				return nil, fmt.Errorf("%w: block %d: %d sub-blocks for %d seqs (%d per sub)", ErrFormat, bi, numSubs, b.NumSeqs, h.SeqsPerSub)
 			}
+			// Each sub-block entry is at least two varint bytes, which bounds
+			// the preallocation by the remaining input — a lying count cannot
+			// force a huge allocation.
+			if numSubs > len(rest)/2 {
+				return nil, fmt.Errorf("%w: block %d: %d sub-blocks exceed remaining input", ErrFormat, bi, numSubs)
+			}
+			b.SubBits = make([]int64, 0, numSubs)
+			b.SubLits = make([]int32, 0, numSubs)
 			var totalBits int64
 			for s := 0; s < numSubs; s++ {
 				v, n := binary.Uvarint(rest)

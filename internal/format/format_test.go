@@ -255,7 +255,9 @@ func TestContainerRoundtrip(t *testing.T) {
 		h := FileHeader{
 			Variant: variant, DEMode: lz77.DEStrict, CWL: 10,
 			Window: 8 << 10, MinMatch: 4, MaxMatch: 64,
-			BlockSize: uint32(half + 1), RawSize: uint64(len(src)),
+			// Non-final blocks must be exactly full (decoders place block i
+			// at i*BlockSize), so the two halves define the block size.
+			BlockSize: uint32(half), RawSize: uint64(len(src)),
 			SeqsPerSub: 16, NumBlocks: 2,
 		}
 		data := AppendHeader(nil, h)

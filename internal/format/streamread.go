@@ -1,0 +1,158 @@
+package format
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gompresso/internal/huffman"
+)
+
+// BlockReader incrementally parses a Gompresso container from an io.Reader,
+// one block at a time, without buffering the whole file — the streaming
+// counterpart of ParseFile used by the public gompresso.Reader. Block fields
+// are decoded into caller-provided storage that is reused across calls, so a
+// steady-state read loop performs no allocations once buffers have grown to
+// the stream's block size.
+type BlockReader struct {
+	r      *bufio.Reader
+	hdr    FileHeader
+	left   uint32 // blocks not yet returned
+	seen   uint64 // raw bytes described by returned blocks
+	head   [HeaderSize]byte
+	packed []byte // scratch for nibble-packed code-length arrays
+}
+
+// NewBlockReader reads and validates the file header.
+func NewBlockReader(r io.Reader) (*BlockReader, error) {
+	br := &BlockReader{r: bufio.NewReaderSize(r, 64<<10)}
+	if _, err := io.ReadFull(br.r, br.head[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrFormat, err)
+	}
+	h, err := ParseHeader(br.head[:])
+	if err != nil {
+		return nil, err
+	}
+	br.hdr = h
+	br.left = h.NumBlocks
+	return br, nil
+}
+
+// Header returns the parsed file header.
+func (br *BlockReader) Header() FileHeader { return br.hdr }
+
+// Next reads the next block into b, reusing b's slices when they have
+// capacity. It returns io.EOF after the last block, verifying that the
+// stream's blocks add up to the header's raw size and that no trailing bytes
+// remain.
+func (br *BlockReader) Next(b *Block) error {
+	if br.left == 0 {
+		if br.seen != br.hdr.RawSize {
+			return fmt.Errorf("%w: blocks total %d raw bytes, header says %d", ErrFormat, br.seen, br.hdr.RawSize)
+		}
+		if _, err := br.r.ReadByte(); err != io.EOF {
+			return fmt.Errorf("%w: trailing bytes after last block", ErrFormat)
+		}
+		return io.EOF
+	}
+	bi := br.hdr.NumBlocks - br.left
+
+	var fixed [12]byte
+	if _, err := io.ReadFull(br.r, fixed[:]); err != nil {
+		return fmt.Errorf("%w: block %d: truncated header (%v)", ErrFormat, bi, err)
+	}
+	b.RawLen = int(binary.LittleEndian.Uint32(fixed[:]))
+	b.NumSeqs = int(binary.LittleEndian.Uint32(fixed[4:]))
+	payloadLen := int(binary.LittleEndian.Uint32(fixed[8:]))
+	if br.hdr.BlockSize != 0 && uint32(b.RawLen) > br.hdr.BlockSize {
+		return fmt.Errorf("%w: block %d: raw length %d exceeds block size %d", ErrFormat, bi, b.RawLen, br.hdr.BlockSize)
+	}
+	if bi != br.hdr.NumBlocks-1 && uint32(b.RawLen) != br.hdr.BlockSize {
+		return fmt.Errorf("%w: block %d: non-final block is %d bytes, block size is %d", ErrFormat, bi, b.RawLen, br.hdr.BlockSize)
+	}
+	b.LitLenLengths = b.LitLenLengths[:0]
+	b.OffLengths = b.OffLengths[:0]
+	b.SubBits = b.SubBits[:0]
+	b.SubLits = b.SubLits[:0]
+
+	if br.hdr.Variant == VariantBit {
+		var err error
+		b.LitLenLengths, err = br.readLengths(b.LitLenLengths, LitLenSyms)
+		if err != nil {
+			return fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
+		}
+		b.OffLengths, err = br.readLengths(b.OffLengths, OffSyms)
+		if err != nil {
+			return fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
+		}
+		var cnt [4]byte
+		if _, err := io.ReadFull(br.r, cnt[:]); err != nil {
+			return fmt.Errorf("%w: block %d: truncated sub-block count (%v)", ErrFormat, bi, err)
+		}
+		numSubs := int(binary.LittleEndian.Uint32(cnt[:]))
+		if br.hdr.SeqsPerSub == 0 {
+			return fmt.Errorf("%w: block %d: zero sequences per sub-block", ErrFormat, bi)
+		}
+		want := 0
+		if b.NumSeqs > 0 {
+			want = (b.NumSeqs + int(br.hdr.SeqsPerSub) - 1) / int(br.hdr.SeqsPerSub)
+		}
+		if numSubs != want {
+			return fmt.Errorf("%w: block %d: %d sub-blocks for %d seqs (%d per sub)", ErrFormat, bi, numSubs, b.NumSeqs, br.hdr.SeqsPerSub)
+		}
+		var totalBits int64
+		for s := 0; s < numSubs; s++ {
+			v, err := binary.ReadUvarint(br.r)
+			if err != nil {
+				return fmt.Errorf("%w: block %d: bad sub-block size varint", ErrFormat, bi)
+			}
+			lv, err := binary.ReadUvarint(br.r)
+			if err != nil {
+				return fmt.Errorf("%w: block %d: bad sub-block literal varint", ErrFormat, bi)
+			}
+			b.SubBits = append(b.SubBits, int64(v))
+			b.SubLits = append(b.SubLits, int32(lv))
+			totalBits += int64(v)
+		}
+		if totalBits > int64(payloadLen)*8 {
+			return fmt.Errorf("%w: block %d: sub-block bits %d exceed payload", ErrFormat, bi, totalBits)
+		}
+	}
+
+	if cap(b.Payload) < payloadLen {
+		b.Payload = make([]byte, payloadLen)
+	}
+	b.Payload = b.Payload[:payloadLen]
+	if _, err := io.ReadFull(br.r, b.Payload); err != nil {
+		return fmt.Errorf("%w: block %d: truncated payload (%v)", ErrFormat, bi, err)
+	}
+	br.seen += uint64(b.RawLen)
+	br.left--
+	return nil
+}
+
+// readLengths reads an n-symbol nibble-packed code-length array into dst.
+func (br *BlockReader) readLengths(dst []uint8, n int) ([]uint8, error) {
+	need := huffman.LengthsSize(n)
+	if cap(br.packed) < need {
+		br.packed = make([]byte, need)
+	}
+	packed := br.packed[:need]
+	if _, err := io.ReadFull(br.r, packed); err != nil {
+		return dst, fmt.Errorf("tree truncated: %v", err)
+	}
+	if cap(dst) < n {
+		dst = make([]uint8, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		b := packed[i/2]
+		if i%2 == 0 {
+			dst[i] = b & 0x0f
+		} else {
+			dst[i] = b >> 4
+		}
+	}
+	return dst, nil
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"gompresso/internal/parallel"
 )
 
 // Kernel is the body of a one-warp thread-group. The simulator calls it once
@@ -89,27 +91,20 @@ func (d *Device) Launch(cfg LaunchConfig, k Kernel) (*LaunchStats, error) {
 		return nil, fmt.Errorf("gpu: launch %q: zero occupancy (smem/block %d)", cfg.Label, cfg.SharedMemPerBlock)
 	}
 
-	// Execute warps on a host worker pool. Each warp writes only its own
-	// counter slot, so aggregation is deterministic.
-	perWarp := make([]Counters, cfg.Blocks)
-	var wg sync.WaitGroup
-	next := make(chan int, d.workers)
-	for i := 0; i < d.workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for b := range next {
-				w := &Warp{Block: b}
-				k(w, b)
-				perWarp[b] = w.Counters
-			}
-		}()
+	// Execute warps on the persistent worker pool with a pooled counter
+	// arena. Each warp writes only its own counter slot, so aggregation is
+	// deterministic; strided shares replace the old per-launch goroutine and
+	// channel churn.
+	arena := counterPool.Get().(*[]Counters)
+	if cap(*arena) < cfg.Blocks {
+		*arena = make([]Counters, cfg.Blocks)
 	}
-	for b := 0; b < cfg.Blocks; b++ {
-		next <- b
-	}
-	close(next)
-	wg.Wait()
+	perWarp := (*arena)[:cfg.Blocks]
+	parallel.For(cfg.Blocks, d.workers, func(b int) {
+		w := Warp{Block: b}
+		k(&w, b)
+		perWarp[b] = w.Counters
+	})
 
 	for _, c := range perWarp {
 		stats.Counters.Add(c)
@@ -117,9 +112,13 @@ func (d *Device) Launch(cfg LaunchConfig, k Kernel) (*LaunchStats, error) {
 			stats.MaxWarpCycles = cyc
 		}
 	}
+	counterPool.Put(arena)
 	d.model(cfg, stats)
 	return stats, nil
 }
+
+// counterPool recycles per-launch warp-counter arenas.
+var counterPool = sync.Pool{New: func() any { return new([]Counters) }}
 
 // model converts aggregate counters into simulated time with a roofline over
 // three resources:

@@ -138,35 +138,41 @@ var ErrCorrupt = errors.New("lz77: corrupt token stream")
 // decoder used to validate the parallel kernels. dst must have capacity for
 // RawLen bytes; the decompressed block is returned.
 func (ts *TokenStream) Decompress(dst []byte) ([]byte, error) {
-	dst = dst[:0]
+	// Size the output up front so the inner loop writes by index and match
+	// expansion can use chunked copies instead of byte-at-a-time appends.
+	total := 0
+	for si := range ts.Seqs {
+		total += int(ts.Seqs[si].LitLen) + int(ts.Seqs[si].MatchLen)
+	}
+	if cap(dst) < total {
+		dst = make([]byte, total)
+	}
+	dst = dst[:total]
+	pos := 0
 	lit := ts.Literals
 	for si := range ts.Seqs {
 		s := &ts.Seqs[si]
 		if int(s.LitLen) > len(lit) {
 			return nil, fmt.Errorf("%w: literal overrun at seq %d", ErrCorrupt, si)
 		}
-		dst = append(dst, lit[:s.LitLen]...)
+		pos += copy(dst[pos:], lit[:s.LitLen])
 		lit = lit[s.LitLen:]
 		if s.MatchLen == 0 {
 			continue
 		}
 		off := int(s.Offset)
-		if off <= 0 || off > len(dst) {
-			return nil, fmt.Errorf("%w: offset %d at seq %d (have %d bytes)", ErrCorrupt, off, si, len(dst))
+		if off <= 0 || off > pos {
+			return nil, fmt.Errorf("%w: offset %d at seq %d (have %d bytes)", ErrCorrupt, off, si, pos)
 		}
-		// Byte-wise copy handles overlapping (RLE-style) matches.
-		start := len(dst) - off
-		for i := 0; i < int(s.MatchLen); i++ {
-			dst = append(dst, dst[start+i])
-		}
+		pos = CopyWithin(dst, pos, off, int(s.MatchLen))
 	}
 	if len(lit) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing literal bytes", ErrCorrupt, len(lit))
 	}
-	if ts.RawLen != 0 && len(dst) != ts.RawLen {
-		return nil, fmt.Errorf("%w: decompressed %d bytes, header says %d", ErrCorrupt, len(dst), ts.RawLen)
+	if ts.RawLen != 0 && pos != ts.RawLen {
+		return nil, fmt.Errorf("%w: decompressed %d bytes, header says %d", ErrCorrupt, pos, ts.RawLen)
 	}
-	return dst, nil
+	return dst[:pos], nil
 }
 
 // Validate structurally checks the stream without materializing output.

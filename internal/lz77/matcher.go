@@ -1,5 +1,10 @@
 package lz77
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 // A matcher finds the longest match for the bytes at src[pos:] whose source
 // interval lies within [pos-window, srcEndLimit). srcEndLimit is the key DE
 // hook: the normal parse passes the block length (matches may even overlap
@@ -36,9 +41,24 @@ func load24(src []byte, pos int) uint32 {
 // matchLen counts equal bytes between src[a:] and src[b:], up to max, and
 // not past len(src). a < b; reading src[a+i] for i < max requires only that
 // a+i < len(src), which allows overlapping matches (a+max may exceed b).
+//
+// The hot loop compares eight bytes per iteration and locates the first
+// difference with a single trailing-zero count of the XOR, falling back to
+// byte compares only for the tail where an 8-byte load would run past the
+// slice.
 func matchLen(src []byte, a, b, max int) int {
+	if max > len(src)-b {
+		max = len(src) - b
+	}
 	n := 0
-	for n < max && b+n < len(src) && src[a+n] == src[b+n] {
+	for n+8 <= max {
+		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
+	for n < max && src[a+n] == src[b+n] {
 		n++
 	}
 	return n

@@ -1,0 +1,69 @@
+// Package parallel provides the persistent host worker pool shared by the
+// compression pipeline and the device simulator. Callers previously spawned
+// one goroutine per block per call; serving workloads pay that churn on
+// every request. The pool starts GOMAXPROCS workers once, lazily, and every
+// call dispatches a handful of strided shares instead of per-item
+// goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	once  sync.Once
+	tasks chan func()
+	size  int
+)
+
+func start() {
+	size = runtime.GOMAXPROCS(0)
+	tasks = make(chan func(), size)
+	for i := 0; i < size; i++ {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// For runs fn(i) for every i in [0, n) using at most workers concurrent
+// executors: up to workers-1 strided shares on the persistent pool, plus one
+// share inline on the caller. The inline share guarantees progress even when
+// the pool is saturated by concurrent calls; if the pool's queue is full, a
+// share simply runs inline too, so a call can never deadlock and never
+// blocks behind unrelated work. workers ≤ 0 selects the pool size.
+func For(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	once.Do(start)
+	if workers <= 0 || workers > size {
+		workers = size
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for t := 1; t < workers; t++ {
+		share := t
+		task := func() {
+			defer wg.Done()
+			for i := share; i < n; i += workers {
+				fn(i)
+			}
+		}
+		wg.Add(1)
+		select {
+		case tasks <- task:
+		default:
+			task()
+		}
+	}
+	for i := 0; i < n; i += workers {
+		fn(i)
+	}
+	wg.Wait()
+}

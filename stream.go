@@ -1,0 +1,124 @@
+package gompresso
+
+import (
+	"fmt"
+	"io"
+
+	"gompresso/internal/format"
+)
+
+// Reader streams the decompressed contents of a Gompresso container from an
+// io.Reader, one block at a time, through the host engine's fused fast path.
+// It never buffers more than one compressed and one decompressed block, and
+// after warm-up its read loop is allocation-free (block buffers and decoder
+// tables are reused across blocks), which is what a serving path wants —
+// Decompress, by contrast, needs the whole container and output in memory.
+//
+// Reader implements io.Reader and io.WriterTo; io.Copy uses WriteTo
+// automatically, decompressing block by block with no intermediate copy.
+type Reader struct {
+	br  *format.BlockReader
+	blk format.Block
+	sc  *format.DecodeScratch
+
+	buf []byte // decompressed current block
+	off int    // bytes of buf already returned
+	err error  // sticky; io.EOF after the last block
+}
+
+// NewReader reads the container header from r and returns a streaming
+// decompressor for its blocks.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, err := format.NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{br: br, sc: format.GetScratch()}, nil
+}
+
+// Header returns the container's file header.
+func (r *Reader) Header() FileHeader { return r.br.Header() }
+
+// advance decodes the next block into r.buf. It sets r.err on failure or at
+// end of stream.
+func (r *Reader) advance() {
+	if err := r.br.Next(&r.blk); err != nil {
+		r.err = err
+		return
+	}
+	if cap(r.buf) < r.blk.RawLen {
+		r.buf = make([]byte, r.blk.RawLen)
+	}
+	r.buf = r.buf[:r.blk.RawLen]
+	r.off = 0
+	hdr := r.br.Header()
+	if hdr.Variant == format.VariantByte {
+		r.err = format.DecodeByteInto(r.buf, r.blk.Payload, r.blk.NumSeqs)
+	} else {
+		bb := format.BitBlock{
+			LitLenLengths: r.blk.LitLenLengths,
+			OffLengths:    r.blk.OffLengths,
+			SubBits:       r.blk.SubBits,
+			SubLits:       r.blk.SubLits,
+			Payload:       r.blk.Payload,
+			NumSeqs:       r.blk.NumSeqs,
+			SeqsPerSub:    int(hdr.SeqsPerSub),
+		}
+		r.err = bb.DecodeBitInto(r.buf, r.sc)
+	}
+	if r.err != nil {
+		r.err = fmt.Errorf("gompresso: %w", r.err)
+		// Never serve a block that failed to decode: empty the window so
+		// Read/WriteTo report the error instead of undecoded bytes.
+		r.buf = r.buf[:0]
+	}
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	for r.off == len(r.buf) {
+		if r.err != nil {
+			return 0, r.err
+		}
+		r.advance()
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// WriteTo implements io.WriterTo, streaming whole decompressed blocks to w.
+func (r *Reader) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for {
+		if r.off < len(r.buf) {
+			n, err := w.Write(r.buf[r.off:])
+			r.off += n
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		if r.err != nil {
+			if r.err == io.EOF {
+				return total, nil
+			}
+			return total, r.err
+		}
+		r.advance()
+	}
+}
+
+// Close releases the Reader's pooled decode scratch. It does not close the
+// underlying reader. Optional: a Reader that is not closed simply lets the
+// scratch be garbage collected.
+func (r *Reader) Close() error {
+	if r.sc != nil {
+		format.PutScratch(r.sc)
+		r.sc = nil
+	}
+	if r.err == nil {
+		r.err = fmt.Errorf("gompresso: reader closed")
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package gompresso_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"gompresso"
+	"gompresso/internal/datagen"
+)
+
+// The streaming Reader must produce byte-identical output to Decompress for
+// every variant, via both small Read calls and the WriteTo fast path.
+func TestStreamingReader(t *testing.T) {
+	src := datagen.WikiXML(1<<20, 3)
+	for _, variant := range []gompresso.Variant{gompresso.VariantBit, gompresso.VariantByte} {
+		comp, _, err := gompresso.Compress(src, gompresso.Options{
+			Variant: variant, DE: gompresso.DEStrict, BlockSize: 128 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Odd-sized Read calls exercise the intra-block offset logic.
+		r, err := gompresso.NewReader(bytes.NewReader(comp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h := r.Header(); h.Variant != variant || h.RawSize != uint64(len(src)) {
+			t.Fatalf("%v: header %+v", variant, h)
+		}
+		var got bytes.Buffer
+		buf := make([]byte, 7777)
+		for {
+			n, err := r.Read(buf)
+			got.Write(buf[:n])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%v: read: %v", variant, err)
+			}
+		}
+		if !bytes.Equal(got.Bytes(), src) {
+			t.Fatalf("%v: Read stream mismatch", variant)
+		}
+		r.Close()
+
+		// io.Copy takes the WriteTo path.
+		r2, err := gompresso.NewReader(bytes.NewReader(comp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got2 bytes.Buffer
+		n, err := io.Copy(&got2, r2)
+		if err != nil {
+			t.Fatalf("%v: copy: %v", variant, err)
+		}
+		if n != int64(len(src)) || !bytes.Equal(got2.Bytes(), src) {
+			t.Fatalf("%v: WriteTo stream mismatch (%d bytes)", variant, n)
+		}
+		r2.Close()
+	}
+}
+
+func TestStreamingReaderTinyInputs(t *testing.T) {
+	for _, size := range []int{0, 1, 3, 100} {
+		src := datagen.WikiXML(1<<12, 9)[:size]
+		comp, _, err := gompresso.Compress(src, gompresso.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := gompresso.NewReader(bytes.NewReader(comp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("size %d: mismatch", size)
+		}
+	}
+}
+
+// A block that fails to decode must never be served. Shrinking the first
+// block's declared sequence count (without changing its sub-block count)
+// makes its decode fail deterministically — the stream then describes fewer
+// bytes than the block header — and the Reader must return the error with
+// zero bytes served, not a buffer of undecoded garbage.
+func TestStreamingReaderFailedBlockNotServed(t *testing.T) {
+	src := datagen.WikiXML(256<<10, 5)
+	comp, _, err := gompresso.Compress(src, gompresso.Options{BlockSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := gompresso.Info(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const numSeqsOff = 35 + 4 // file header + block RawLen field
+	numSeqs := int(uint32(comp[numSeqsOff]) | uint32(comp[numSeqsOff+1])<<8 |
+		uint32(comp[numSeqsOff+2])<<16 | uint32(comp[numSeqsOff+3])<<24)
+	spb := int(h.SeqsPerSub)
+	mutated := numSeqs - 1
+	if mutated <= 0 || (mutated+spb-1)/spb != (numSeqs+spb-1)/spb {
+		t.Skipf("block layout does not allow a same-sub-count mutation (%d seqs)", numSeqs)
+	}
+	mut := append([]byte(nil), comp...)
+	mut[numSeqsOff] = byte(mutated)
+	mut[numSeqsOff+1] = byte(mutated >> 8)
+	mut[numSeqsOff+2] = byte(mutated >> 16)
+	mut[numSeqsOff+3] = byte(mutated >> 24)
+
+	r, err := gompresso.NewReader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err == nil {
+		t.Fatal("mutated stream decoded without error")
+	}
+	if len(got) != 0 {
+		t.Fatalf("reader served %d bytes from a block whose decode failed", len(got))
+	}
+}
+
+func TestStreamingReaderTruncated(t *testing.T) {
+	src := datagen.WikiXML(256<<10, 4)
+	comp, _, err := gompresso.Compress(src, gompresso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{10, 40, len(comp) / 2, len(comp) - 1} {
+		r, err := gompresso.NewReader(bytes.NewReader(comp[:cut]))
+		if err != nil {
+			continue // truncated header rejected at construction: fine
+		}
+		if _, err := io.ReadAll(r); err == nil {
+			t.Fatalf("cut %d: truncated stream decoded without error", cut)
+		}
+	}
+}
