@@ -7,6 +7,7 @@ package gompresso_test
 import (
 	"bytes"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -289,5 +290,50 @@ func BenchmarkStreamReader_Bit(b *testing.B) {
 			b.Fatalf("streamed %d bytes, err %v", n, err)
 		}
 		r.Close()
+	}
+}
+
+// Streaming decompression through the parallel pipeline at fixed worker
+// counts; W1 is the synchronous path, higher counts should scale with
+// GOMAXPROCS (see EXPERIMENTS.md "Pipeline scaling").
+func benchStreamWorkers(b *testing.B, workers int) {
+	w, _ := corpora()
+	comp := compressFor(b, w, gompresso.VariantBit, gompresso.DEStrict)
+	b.SetBytes(int64(len(w)))
+	for i := 0; i < b.N; i++ {
+		r, err := gompresso.NewReaderWith(bytes.NewReader(comp), gompresso.ReaderOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, r)
+		if err != nil || n != int64(len(w)) {
+			b.Fatalf("streamed %d bytes, err %v", n, err)
+		}
+		r.Close()
+	}
+}
+
+func BenchmarkStreamReader_Bit_W1(b *testing.B) { benchStreamWorkers(b, 1) }
+func BenchmarkStreamReader_Bit_W2(b *testing.B) { benchStreamWorkers(b, 2) }
+func BenchmarkStreamReader_Bit_WMax(b *testing.B) {
+	benchStreamWorkers(b, runtime.GOMAXPROCS(0))
+}
+
+// Random range reads through ReaderAt — the object-store serving shape.
+func BenchmarkReaderAt_Bit(b *testing.B) {
+	w, _ := corpora()
+	comp := compressFor(b, w, gompresso.VariantBit, gompresso.DEStrict)
+	ra, err := gompresso.NewReaderAt(bytes.NewReader(comp), int64(len(comp)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const span = 64 << 10
+	buf := make([]byte, span)
+	b.SetBytes(span)
+	for i := 0; i < b.N; i++ {
+		off := int64(i*31337) % (int64(len(w)) - span)
+		if _, err := ra.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -2,7 +2,7 @@
 // in-process and writes a machine-readable BENCH_<n>.json so the performance
 // trajectory is tracked from PR to PR (see EXPERIMENTS.md).
 //
-//	go run ./cmd/bench                 # full run, writes BENCH_1.json
+//	go run ./cmd/bench                 # full run, writes BENCH_2.json
 //	go run ./cmd/bench -short          # CI smoke: small corpus, 1 iteration
 //	go run ./cmd/bench -o results.json # custom output path
 //
@@ -55,7 +55,7 @@ type report struct {
 func main() {
 	size := flag.Int("size", 8<<20, "corpus size in bytes")
 	iters := flag.Int("iters", 3, "timed iterations per benchmark (best is reported)")
-	out := flag.String("o", "BENCH_1.json", "output JSON path")
+	out := flag.String("o", "BENCH_2.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 MB corpus, 1 iteration")
 	flag.Parse()
 	if *short {
@@ -138,21 +138,31 @@ func main() {
 
 	fast := host("HostEngine_Bit", func() int { return decompressHost(bitDE, false) })
 	ref := host("HostEngine_Bit_Reference", func() int { return decompressHost(bitDE, true) })
+	stream := func(workers int) int {
+		r, err := gompresso.NewReaderWith(bytes.NewReader(bitDE), gompresso.ReaderOptions{Workers: workers})
+		if err != nil {
+			fatal("stream: %v", err)
+		}
+		defer r.Close()
+		n, err := io.Copy(io.Discard, r)
+		if err != nil {
+			fatal("stream: %v", err)
+		}
+		return int(n)
+	}
 	rep.Benchmarks = append(rep.Benchmarks, fast, ref,
 		host("HostEngine_Byte", func() int { return decompressHost(byteDE, false) }),
-		host("StreamReader_Bit", func() int {
-			r, err := gompresso.NewReader(bytes.NewReader(bitDE))
-			if err != nil {
-				fatal("stream: %v", err)
-			}
-			defer r.Close()
-			n, err := io.Copy(io.Discard, r)
-			if err != nil {
-				fatal("stream: %v", err)
-			}
-			return int(n)
-		}),
+		// StreamReader_Bit keeps PR-1's name and configuration (default
+		// options) so the series stays comparable across BENCH_<n>.json;
+		// the _W<n> rows are the parallel pipeline at fixed worker counts.
+		host("StreamReader_Bit", func() int { return stream(0) }),
+		host("StreamReader_Bit_W1", func() int { return stream(1) }),
+		host("StreamReader_Bit_W2", func() int { return stream(2) }),
 	)
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		rep.Benchmarks = append(rep.Benchmarks,
+			host(fmt.Sprintf("StreamReader_Bit_W%d", p), func() int { return stream(p) }))
+	}
 
 	rep.HostFastPath.SeedBaselineMBps = seedHostBitMBps
 	rep.HostFastPath.ReferenceMBps = ref.HostGBps * 1000

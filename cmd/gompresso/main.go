@@ -5,6 +5,7 @@
 //
 //	gompresso compress   [flags] <in> <out>
 //	gompresso decompress [flags] <in> <out>
+//	gompresso cat        [flags] <in>     (stream a range to stdout)
 //	gompresso info       <in>
 //	gompresso verify     [flags] <in>     (compress+decompress in memory)
 package main
@@ -12,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gompresso"
@@ -28,6 +30,8 @@ func main() {
 		err = compressCmd(args)
 	case "decompress":
 		err = decompressCmd(args)
+	case "cat":
+		err = catCmd(args)
 	case "info":
 		err = infoCmd(args)
 	case "verify":
@@ -42,7 +46,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|info|verify} [flags] <in> [out]")
+	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|cat|info|verify} [flags] <in> [out]")
 	os.Exit(2)
 }
 
@@ -53,12 +57,14 @@ func compressFlags(fs *flag.FlagSet) func() (gompresso.Options, error) {
 	de := fs.String("de", "strict", "dependency elimination: off, strict, lit")
 	cwl := fs.Int("cwl", 10, "Huffman codeword length limit (bit variant)")
 	subSeqs := fs.Int("subseqs", 16, "sequences per sub-block (bit variant)")
+	index := fs.Bool("index", false, "append an index trailer for fast seeking")
 	return func() (gompresso.Options, error) {
 		o := gompresso.Options{
 			BlockSize:  *blockKB << 10,
 			Window:     *window,
 			CWL:        *cwl,
 			SeqsPerSub: *subSeqs,
+			Index:      *index,
 		}
 		switch *variant {
 		case "bit":
@@ -184,6 +190,42 @@ func decompressCmd(args []string) error {
 		fmt.Printf("%d bytes  host %.3f ms\n", stats.RawSize, stats.HostSeconds*1e3)
 	}
 	return nil
+}
+
+// catCmd streams (a range of) a container's decompressed contents to
+// stdout through the parallel pipelined Reader — the serving path, as
+// opposed to decompressCmd's whole-buffer engines.
+func catCmd(args []string) error {
+	fs := flag.NewFlagSet("cat", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "concurrent block decodes (0 = GOMAXPROCS)")
+	readahead := fs.Int("readahead", 0, "decoded blocks buffered ahead (0 = 2x workers)")
+	offset := fs.Int64("offset", 0, "start at this decompressed byte offset")
+	length := fs.Int64("length", -1, "stop after this many bytes (-1 = to the end)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cat needs <in>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := gompresso.NewReaderWith(f, gompresso.ReaderOptions{Workers: *workers, Readahead: *readahead})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if *offset > 0 {
+		if _, err := r.Seek(*offset, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	var src io.Reader = r
+	if *length >= 0 {
+		src = io.LimitReader(r, *length)
+	}
+	_, err = io.Copy(os.Stdout, src)
+	return err
 }
 
 func infoCmd(args []string) error {

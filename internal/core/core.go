@@ -35,6 +35,11 @@ type Options struct {
 	CWL        int // Bit variant: codeword length limit
 	SeqsPerSub int // Bit variant: sequences per sub-block
 	Workers    int // host goroutines for block-parallel compression
+	// Index appends an optional index trailer (block offsets) to the
+	// container, letting readers with random access seek without scanning
+	// the block section first. Containers stay readable by every decoder
+	// either way.
+	Index bool
 }
 
 // DefaultBlockSize is the paper's default data block size (§V).
@@ -163,10 +168,12 @@ func Compress(src []byte, o Options) ([]byte, *CompressStats, error) {
 		NumBlocks:  uint32(nb),
 	}
 	out := format.AppendHeader(nil, h)
+	offsets := make([]int64, 0, nb+1)
 	for i := range results {
 		if results[i].err != nil {
 			return nil, nil, fmt.Errorf("core: block %d: %w", i, results[i].err)
 		}
+		offsets = append(offsets, int64(len(out)))
 		ts := results[i].ts
 		stats.Seqs += int64(len(ts.Seqs))
 		stats.LitLen += int64(len(ts.Literals))
@@ -182,6 +189,10 @@ func Compress(src []byte, o Options) ([]byte, *CompressStats, error) {
 			}
 		}
 		out = format.AppendBlock(out, o.Variant, &results[i].blk)
+	}
+	if o.Index {
+		offsets = append(offsets, int64(len(out)))
+		out = format.AppendIndex(out, offsets)
 	}
 	stats.CompSize = int64(len(out))
 	stats.Seconds = time.Since(start).Seconds()
@@ -314,12 +325,26 @@ func Decompress(data []byte, o DecompressOptions) ([]byte, *DecompressStats, err
 // decompressHost is the block-parallel host path. By default each block runs
 // the fused fast path (bitstream→output in one pass, pooled decoder tables,
 // chunked match copies, zero steady-state allocations); with o.HostReference
-// it runs the materializing reference pipeline instead.
+// it runs the materializing reference pipeline instead. Decode scratch is
+// hoisted to one per worker share, so a many-block container pays the pool
+// Get/Put once per worker instead of once per block.
 func decompressHost(f *format.File, out []byte, o DecompressOptions) error {
 	bs := int(f.Header.BlockSize)
 	byteVariant := f.Header.Variant == format.VariantByte
+	var scratch []*format.DecodeScratch
+	if !byteVariant && !o.HostReference {
+		scratch = make([]*format.DecodeScratch, parallel.Workers(len(f.Blocks), o.Workers))
+		for i := range scratch {
+			scratch[i] = format.GetScratch()
+		}
+		defer func() {
+			for _, sc := range scratch {
+				format.PutScratch(sc)
+			}
+		}()
+	}
 	errs := make([]error, len(f.Blocks))
-	parallel.For(len(f.Blocks), o.Workers, func(i int) {
+	parallel.ForShare(len(f.Blocks), o.Workers, func(share, i int) {
 		blk := &f.Blocks[i]
 		dst := out[i*bs : i*bs+blk.RawLen : i*bs+blk.RawLen]
 		switch {
@@ -355,7 +380,7 @@ func decompressHost(f *format.File, out []byte, o DecompressOptions) error {
 				NumSeqs:       blk.NumSeqs,
 				SeqsPerSub:    int(f.Header.SeqsPerSub),
 			}
-			errs[i] = bb.DecodeBitInto(dst, nil)
+			errs[i] = bb.DecodeBitInto(dst, scratch[share])
 		}
 	})
 	for i, err := range errs {

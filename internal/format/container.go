@@ -149,7 +149,95 @@ func ParseHeader(data []byte) (FileHeader, error) {
 // HeaderSize is the encoded size of the fixed file header.
 const HeaderSize = headerSize
 
-// ParseFile parses a container. Block payloads alias data.
+// ParseBlock parses block record bi of an h-headed container from data,
+// which must start at the record's first byte. b's slices are reused when
+// they have capacity; Payload aliases data. It returns the bytes remaining
+// after the record.
+func ParseBlock(h FileHeader, bi uint32, data []byte, b *Block) ([]byte, error) {
+	rest := data
+	if len(rest) < 12 {
+		return nil, fmt.Errorf("%w: block %d: truncated header", ErrFormat, bi)
+	}
+	b.RawLen = int(binary.LittleEndian.Uint32(rest))
+	b.NumSeqs = int(binary.LittleEndian.Uint32(rest[4:]))
+	payloadLen := int(binary.LittleEndian.Uint32(rest[8:]))
+	rest = rest[12:]
+	if h.BlockSize != 0 && uint32(b.RawLen) > h.BlockSize {
+		return nil, fmt.Errorf("%w: block %d: raw length %d exceeds block size %d", ErrFormat, bi, b.RawLen, h.BlockSize)
+	}
+	// Decoders place block bi's output at bi*BlockSize, so every block
+	// except the last must be exactly full.
+	if bi != h.NumBlocks-1 && uint32(b.RawLen) != h.BlockSize {
+		return nil, fmt.Errorf("%w: block %d: non-final block is %d bytes, block size is %d", ErrFormat, bi, b.RawLen, h.BlockSize)
+	}
+	b.LitLenLengths = b.LitLenLengths[:0]
+	b.OffLengths = b.OffLengths[:0]
+	b.SubBits = b.SubBits[:0]
+	b.SubLits = b.SubLits[:0]
+	if h.Variant == VariantBit {
+		var err error
+		b.LitLenLengths, rest, err = huffman.ParseLengths(rest, LitLenSyms)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
+		}
+		b.OffLengths, rest, err = huffman.ParseLengths(rest, OffSyms)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
+		}
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: block %d: truncated sub-block count", ErrFormat, bi)
+		}
+		numSubs := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if h.SeqsPerSub == 0 {
+			return nil, fmt.Errorf("%w: block %d: zero sequences per sub-block", ErrFormat, bi)
+		}
+		want := 0
+		if b.NumSeqs > 0 {
+			want = (b.NumSeqs + int(h.SeqsPerSub) - 1) / int(h.SeqsPerSub)
+		}
+		if numSubs != want {
+			return nil, fmt.Errorf("%w: block %d: %d sub-blocks for %d seqs (%d per sub)", ErrFormat, bi, numSubs, b.NumSeqs, h.SeqsPerSub)
+		}
+		// Each sub-block entry is at least two varint bytes, which bounds
+		// the preallocation by the remaining input — a lying count cannot
+		// force a huge allocation.
+		if numSubs > len(rest)/2 {
+			return nil, fmt.Errorf("%w: block %d: %d sub-blocks exceed remaining input", ErrFormat, bi, numSubs)
+		}
+		if cap(b.SubBits) < numSubs {
+			b.SubBits = make([]int64, 0, numSubs)
+			b.SubLits = make([]int32, 0, numSubs)
+		}
+		var totalBits int64
+		for s := 0; s < numSubs; s++ {
+			v, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: block %d: bad sub-block size varint", ErrFormat, bi)
+			}
+			rest = rest[n:]
+			lv, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: block %d: bad sub-block literal varint", ErrFormat, bi)
+			}
+			rest = rest[n:]
+			b.SubBits = append(b.SubBits, int64(v))
+			b.SubLits = append(b.SubLits, int32(lv))
+			totalBits += int64(v)
+		}
+		if totalBits > int64(payloadLen)*8 {
+			return nil, fmt.Errorf("%w: block %d: sub-block bits %d exceed payload", ErrFormat, bi, totalBits)
+		}
+	}
+	if len(rest) < payloadLen {
+		return nil, fmt.Errorf("%w: block %d: truncated payload (%d of %d bytes)", ErrFormat, bi, len(rest), payloadLen)
+	}
+	b.Payload = rest[:payloadLen:payloadLen]
+	return rest[payloadLen:], nil
+}
+
+// ParseFile parses a container. Block payloads alias data. A trailing index
+// (see AppendIndex) is validated and skipped.
 func ParseFile(data []byte) (*File, error) {
 	h, err := ParseHeader(data)
 	if err != nil {
@@ -160,84 +248,20 @@ func ParseFile(data []byte) (*File, error) {
 	var totalRaw uint64
 	for bi := uint32(0); bi < h.NumBlocks; bi++ {
 		var b Block
-		if len(rest) < 12 {
-			return nil, fmt.Errorf("%w: block %d: truncated header", ErrFormat, bi)
+		rest, err = ParseBlock(h, bi, rest, &b)
+		if err != nil {
+			return nil, err
 		}
-		b.RawLen = int(binary.LittleEndian.Uint32(rest))
-		b.NumSeqs = int(binary.LittleEndian.Uint32(rest[4:]))
-		payloadLen := int(binary.LittleEndian.Uint32(rest[8:]))
-		rest = rest[12:]
-		if h.BlockSize != 0 && uint32(b.RawLen) > h.BlockSize {
-			return nil, fmt.Errorf("%w: block %d: raw length %d exceeds block size %d", ErrFormat, bi, b.RawLen, h.BlockSize)
-		}
-		// Decoders place block bi's output at bi*BlockSize, so every block
-		// except the last must be exactly full.
-		if bi != h.NumBlocks-1 && uint32(b.RawLen) != h.BlockSize {
-			return nil, fmt.Errorf("%w: block %d: non-final block is %d bytes, block size is %d", ErrFormat, bi, b.RawLen, h.BlockSize)
-		}
-		if h.Variant == VariantBit {
-			var err error
-			b.LitLenLengths, rest, err = huffman.ParseLengths(rest, LitLenSyms)
-			if err != nil {
-				return nil, fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
-			}
-			b.OffLengths, rest, err = huffman.ParseLengths(rest, OffSyms)
-			if err != nil {
-				return nil, fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
-			}
-			if len(rest) < 4 {
-				return nil, fmt.Errorf("%w: block %d: truncated sub-block count", ErrFormat, bi)
-			}
-			numSubs := int(binary.LittleEndian.Uint32(rest))
-			rest = rest[4:]
-			if h.SeqsPerSub == 0 {
-				return nil, fmt.Errorf("%w: block %d: zero sequences per sub-block", ErrFormat, bi)
-			}
-			want := 0
-			if b.NumSeqs > 0 {
-				want = (b.NumSeqs + int(h.SeqsPerSub) - 1) / int(h.SeqsPerSub)
-			}
-			if numSubs != want {
-				return nil, fmt.Errorf("%w: block %d: %d sub-blocks for %d seqs (%d per sub)", ErrFormat, bi, numSubs, b.NumSeqs, h.SeqsPerSub)
-			}
-			// Each sub-block entry is at least two varint bytes, which bounds
-			// the preallocation by the remaining input — a lying count cannot
-			// force a huge allocation.
-			if numSubs > len(rest)/2 {
-				return nil, fmt.Errorf("%w: block %d: %d sub-blocks exceed remaining input", ErrFormat, bi, numSubs)
-			}
-			b.SubBits = make([]int64, 0, numSubs)
-			b.SubLits = make([]int32, 0, numSubs)
-			var totalBits int64
-			for s := 0; s < numSubs; s++ {
-				v, n := binary.Uvarint(rest)
-				if n <= 0 {
-					return nil, fmt.Errorf("%w: block %d: bad sub-block size varint", ErrFormat, bi)
-				}
-				rest = rest[n:]
-				lv, n := binary.Uvarint(rest)
-				if n <= 0 {
-					return nil, fmt.Errorf("%w: block %d: bad sub-block literal varint", ErrFormat, bi)
-				}
-				rest = rest[n:]
-				b.SubBits = append(b.SubBits, int64(v))
-				b.SubLits = append(b.SubLits, int32(lv))
-				totalBits += int64(v)
-			}
-			if totalBits > int64(payloadLen)*8 {
-				return nil, fmt.Errorf("%w: block %d: sub-block bits %d exceed payload", ErrFormat, bi, totalBits)
-			}
-		}
-		if len(rest) < payloadLen {
-			return nil, fmt.Errorf("%w: block %d: truncated payload (%d of %d bytes)", ErrFormat, bi, len(rest), payloadLen)
-		}
-		b.Payload = rest[:payloadLen:payloadLen]
-		rest = rest[payloadLen:]
 		totalRaw += uint64(b.RawLen)
 		f.Blocks = append(f.Blocks, b)
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(rest))
+		// The only thing allowed after the last block is an index trailer
+		// whose offsets end exactly where the parsed blocks actually did.
+		idx, err := ParseIndexTrailer(data, h)
+		if err != nil || idx.Offsets[h.NumBlocks] != int64(len(data)-len(rest)) {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(rest))
+		}
 	}
 	if totalRaw != h.RawSize {
 		return nil, fmt.Errorf("%w: blocks total %d raw bytes, header says %d", ErrFormat, totalRaw, h.RawSize)

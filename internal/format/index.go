@@ -1,0 +1,206 @@
+package format
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Random access. Blocks are independently decompressible and every
+// non-final block expands to exactly BlockSize raw bytes, so the raw offset
+// of block i is i*BlockSize — the only thing a seek needs that the header
+// does not already give is where each block's record starts in the
+// compressed container. An Index holds those offsets. It is obtained three
+// ways, cheapest first: read back from an optional index trailer appended
+// by the compressor (AppendIndex), reconstructed by scanning an in-memory
+// container (BuildIndex), or by scanning a stream (ScanIndex).
+//
+// Trailer layout, appended after the last block:
+//
+//	uvarint × NumBlocks   compressed length of each block record
+//	uint32                length of the varint area above
+//	"GPIX"                trailer magic
+//
+// The fixed-size footer at the very end lets a reader with random access
+// find the trailer without scanning; readers without one (BlockReader)
+// validate and absorb it after the last block. Containers without a
+// trailer remain valid, and a container with one remains readable by any
+// consumer that tolerates it (all of this package's parsers do).
+
+var indexMagic = [4]byte{'G', 'P', 'I', 'X'}
+
+// IndexFooterSize is the size of the trailer's fixed footer.
+const IndexFooterSize = 8
+
+// Index maps block numbers to compressed byte offsets. Offsets has
+// NumBlocks+1 entries: Offsets[i] is the container-relative offset of block
+// i's record, and the final entry is the end of the block section (where an
+// index trailer, if any, begins).
+type Index struct {
+	Offsets []int64
+}
+
+// NumBlocks returns the number of blocks the index describes.
+func (ix *Index) NumBlocks() int { return len(ix.Offsets) - 1 }
+
+// maxTrailerSize bounds how many bytes a valid trailer for h can occupy.
+func maxTrailerSize(h FileHeader) int64 {
+	return int64(h.NumBlocks)*binary.MaxVarintLen64 + IndexFooterSize
+}
+
+// AppendIndex serializes an index trailer for the given block offsets
+// (NumBlocks+1 entries, as in Index.Offsets) onto dst, which must end at
+// the block section's last byte.
+func AppendIndex(dst []byte, offsets []int64) []byte {
+	start := len(dst)
+	for i := 0; i+1 < len(offsets); i++ {
+		dst = binary.AppendUvarint(dst, uint64(offsets[i+1]-offsets[i]))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(dst)-start))
+	return append(dst, indexMagic[:]...)
+}
+
+// parseIndexBytes decodes a trailer that occupies exactly tail, returning
+// the reconstructed index. It validates framing (magic, varint-area length)
+// and shape (one record length per block, nothing left over) but not that
+// the offsets match the actual block layout — callers cross-check the final
+// offset against where the block section really ended.
+func parseIndexBytes(tail []byte, h FileHeader) (*Index, error) {
+	if len(tail) < IndexFooterSize {
+		return nil, fmt.Errorf("%w: index trailer too short", ErrFormat)
+	}
+	foot := tail[len(tail)-IndexFooterSize:]
+	if [4]byte(foot[4:]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad index magic", ErrFormat)
+	}
+	if int(binary.LittleEndian.Uint32(foot)) != len(tail)-IndexFooterSize {
+		return nil, fmt.Errorf("%w: index trailer length mismatch", ErrFormat)
+	}
+	area := tail[:len(tail)-IndexFooterSize]
+	// Each record length is at least one varint byte, which bounds the
+	// offsets allocation by the input actually present — a lying block
+	// count cannot force a huge allocation.
+	if int64(h.NumBlocks) > int64(len(area)) {
+		return nil, fmt.Errorf("%w: %d index entries exceed trailer size", ErrFormat, h.NumBlocks)
+	}
+	offsets := make([]int64, h.NumBlocks+1)
+	offsets[0] = HeaderSize
+	for i := uint32(0); i < h.NumBlocks; i++ {
+		v, n := binary.Uvarint(area)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad index varint for block %d", ErrFormat, i)
+		}
+		area = area[n:]
+		offsets[i+1] = offsets[i] + int64(v)
+	}
+	if len(area) != 0 {
+		return nil, fmt.Errorf("%w: %d stray index bytes", ErrFormat, len(area))
+	}
+	return &Index{Offsets: offsets}, nil
+}
+
+// ParseIndexTrailer reads the index trailer of an in-memory container whose
+// header is h. It reports ErrFormat if the container carries no (valid)
+// trailer; BuildIndex is the fallback.
+func ParseIndexTrailer(data []byte, h FileHeader) (*Index, error) {
+	if len(data) < HeaderSize+IndexFooterSize {
+		return nil, fmt.Errorf("%w: no index trailer", ErrFormat)
+	}
+	foot := data[len(data)-IndexFooterSize:]
+	if [4]byte(foot[4:]) != indexMagic {
+		return nil, fmt.Errorf("%w: no index trailer", ErrFormat)
+	}
+	total := int(binary.LittleEndian.Uint32(foot)) + IndexFooterSize
+	if total > len(data)-HeaderSize || int64(total) > maxTrailerSize(h) {
+		return nil, fmt.Errorf("%w: implausible index trailer", ErrFormat)
+	}
+	idx, err := parseIndexBytes(data[len(data)-total:], h)
+	if err != nil {
+		return nil, err
+	}
+	if idx.Offsets[h.NumBlocks] != int64(len(data)-total) {
+		return nil, fmt.Errorf("%w: index trailer disagrees with container size", ErrFormat)
+	}
+	return idx, nil
+}
+
+// ReadIndexAt reads the index trailer of a size-byte container stored in
+// ra, whose header is h. It reports ErrFormat when the container carries no
+// valid trailer; callers fall back to BuildIndex or ScanIndex.
+func ReadIndexAt(ra io.ReaderAt, size int64, h FileHeader) (*Index, error) {
+	if size < HeaderSize+IndexFooterSize {
+		return nil, fmt.Errorf("%w: no index trailer", ErrFormat)
+	}
+	var foot [IndexFooterSize]byte
+	if _, err := ra.ReadAt(foot[:], size-IndexFooterSize); err != nil {
+		return nil, fmt.Errorf("%w: reading index footer: %v", ErrFormat, err)
+	}
+	if [4]byte(foot[4:]) != indexMagic {
+		return nil, fmt.Errorf("%w: no index trailer", ErrFormat)
+	}
+	total := int64(binary.LittleEndian.Uint32(foot[:])) + IndexFooterSize
+	if total > size-HeaderSize || total > maxTrailerSize(h) {
+		return nil, fmt.Errorf("%w: implausible index trailer", ErrFormat)
+	}
+	tail := make([]byte, total)
+	if _, err := ra.ReadAt(tail, size-total); err != nil {
+		return nil, fmt.Errorf("%w: reading index trailer: %v", ErrFormat, err)
+	}
+	idx, err := parseIndexBytes(tail, h)
+	if err != nil {
+		return nil, err
+	}
+	if idx.Offsets[h.NumBlocks] != size-total {
+		return nil, fmt.Errorf("%w: index trailer disagrees with container size", ErrFormat)
+	}
+	return idx, nil
+}
+
+// BuildIndex reconstructs the index of an in-memory container by walking
+// its block records (headers, trees and size lists are parsed; payloads are
+// only skipped, so the scan is cheap relative to decompression).
+func BuildIndex(data []byte, h FileHeader) (*Index, error) {
+	if len(data) < HeaderSize {
+		return nil, fmt.Errorf("%w: short container", ErrFormat)
+	}
+	// Every block record starts with a 12-byte fixed header, which bounds
+	// the offsets allocation by the input actually present.
+	if int64(h.NumBlocks) > int64(len(data))/12 {
+		return nil, fmt.Errorf("%w: %d blocks exceed container size", ErrFormat, h.NumBlocks)
+	}
+	offsets := make([]int64, h.NumBlocks+1)
+	offsets[0] = HeaderSize
+	rest := data[HeaderSize:]
+	var b Block
+	var err error
+	for bi := uint32(0); bi < h.NumBlocks; bi++ {
+		rest, err = ParseBlock(h, bi, rest, &b)
+		if err != nil {
+			return nil, err
+		}
+		offsets[bi+1] = int64(len(data) - len(rest))
+	}
+	return &Index{Offsets: offsets}, nil
+}
+
+// ScanIndex reconstructs the index of a container streamed from r, which
+// must be positioned at the file header. The whole container is read once.
+func ScanIndex(r io.Reader) (FileHeader, *Index, error) {
+	br, err := NewBlockReader(r)
+	if err != nil {
+		return FileHeader{}, nil, err
+	}
+	h := br.Header()
+	// Grown as blocks actually parse (each consumes ≥ 12 stream bytes), so
+	// a lying block count in the header cannot force a huge allocation.
+	offsets := make([]int64, 0, 64)
+	var b Block
+	for bi := uint32(0); bi < h.NumBlocks; bi++ {
+		offsets = append(offsets, br.Offset())
+		if err := br.Next(&b); err != nil {
+			return h, nil, err
+		}
+	}
+	offsets = append(offsets, br.Offset())
+	return h, &Index{Offsets: offsets}, nil
+}

@@ -1,0 +1,250 @@
+package format
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"gompresso/internal/lz77"
+)
+
+// indexContainer builds a Byte-variant multi-block container (optionally
+// with an index trailer) plus the true block-record offsets.
+func indexContainer(t *testing.T, src []byte, blockSize int, withIndex bool) ([]byte, FileHeader, []int64) {
+	t.Helper()
+	nb := (len(src) + blockSize - 1) / blockSize
+	h := FileHeader{
+		Variant:   VariantByte,
+		Window:    lz77.DefaultWindow,
+		MinMatch:  uint8(lz77.DefaultMinMatch),
+		MaxMatch:  uint32(lz77.DefaultMaxMatch),
+		BlockSize: uint32(blockSize),
+		RawSize:   uint64(len(src)),
+		NumBlocks: uint32(nb),
+	}
+	out := AppendHeader(nil, h)
+	offsets := make([]int64, 0, nb+1)
+	for i := 0; i < nb; i++ {
+		lo, hi := i*blockSize, (i+1)*blockSize
+		if hi > len(src) {
+			hi = len(src)
+		}
+		ts, err := lz77.Parse(src[lo:hi], lz77.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := EncodeByte(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk := Block{RawLen: hi - lo, NumSeqs: len(ts.Seqs), Payload: payload}
+		offsets = append(offsets, int64(len(out)))
+		out = AppendBlock(out, VariantByte, &blk)
+	}
+	offsets = append(offsets, int64(len(out)))
+	if withIndex {
+		out = AppendIndex(out, offsets)
+	}
+	return out, h, offsets
+}
+
+func indexTestSrc(n int) []byte {
+	src := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i>>3) ^ byte(i%251)
+	}
+	return src
+}
+
+func TestIndexTrailerRoundTrip(t *testing.T) {
+	src := indexTestSrc(10000)
+	comp, h, offsets := indexContainer(t, src, 2048, true)
+
+	// ParseFile accepts and skips the trailer.
+	f, err := ParseFile(comp)
+	if err != nil {
+		t.Fatalf("ParseFile with trailer: %v", err)
+	}
+	if len(f.Blocks) != int(h.NumBlocks) {
+		t.Fatalf("parsed %d blocks, want %d", len(f.Blocks), h.NumBlocks)
+	}
+
+	// All three index sources agree with the true offsets.
+	check := func(name string, idx *Index, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(idx.Offsets) != len(offsets) {
+			t.Fatalf("%s: %d offsets, want %d", name, len(idx.Offsets), len(offsets))
+		}
+		for i := range offsets {
+			if idx.Offsets[i] != offsets[i] {
+				t.Fatalf("%s: offset[%d] = %d, want %d", name, i, idx.Offsets[i], offsets[i])
+			}
+		}
+	}
+	idx, err := ParseIndexTrailer(comp, h)
+	check("ParseIndexTrailer", idx, err)
+	idx, err = ReadIndexAt(bytes.NewReader(comp), int64(len(comp)), h)
+	check("ReadIndexAt", idx, err)
+	idx, err = BuildIndex(comp, h)
+	check("BuildIndex", idx, err)
+	_, idx, err = ScanIndex(bytes.NewReader(comp))
+	check("ScanIndex", idx, err)
+
+	// A container without a trailer has no trailer to read, but scans fine.
+	plain, _, _ := indexContainer(t, src, 2048, false)
+	if _, err := ReadIndexAt(bytes.NewReader(plain), int64(len(plain)), h); err == nil {
+		t.Fatal("ReadIndexAt invented a trailer")
+	}
+	idx, err = BuildIndex(plain, h)
+	check("BuildIndex plain", idx, err)
+}
+
+// BlockReader must absorb a valid trailer (same blocks, clean io.EOF) and
+// report record offsets that match the index.
+func TestBlockReaderTrailerAndOffsets(t *testing.T) {
+	src := indexTestSrc(9000)
+	comp, h, offsets := indexContainer(t, src, 2048, true)
+	br, err := NewBlockReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Block
+	for i := uint32(0); i < h.NumBlocks; i++ {
+		if br.Offset() != offsets[i] {
+			t.Fatalf("block %d: Offset() = %d, want %d", i, br.Offset(), offsets[i])
+		}
+		if err := br.Next(&b); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+	}
+	if br.Offset() != offsets[h.NumBlocks] {
+		t.Fatalf("end Offset() = %d, want %d", br.Offset(), offsets[h.NumBlocks])
+	}
+	if err := br.Next(&b); err != io.EOF {
+		t.Fatalf("after last block: %v, want io.EOF", err)
+	}
+}
+
+// Resuming mid-container yields the remaining blocks and the same
+// end-of-stream validation.
+func TestBlockReaderResume(t *testing.T) {
+	src := indexTestSrc(9000)
+	for _, withIndex := range []bool{false, true} {
+		comp, h, offsets := indexContainer(t, src, 2048, withIndex)
+		for first := uint32(0); first <= h.NumBlocks; first++ {
+			br := NewBlockReaderAt(bytes.NewReader(comp[offsets[first]:]), h, first, offsets[first])
+			var b Block
+			for i := first; i < h.NumBlocks; i++ {
+				if err := br.Next(&b); err != nil {
+					t.Fatalf("withIndex=%v first=%d block %d: %v", withIndex, first, i, err)
+				}
+				wantLen := 2048
+				if i == h.NumBlocks-1 {
+					wantLen = len(src) - int(i)*2048
+				}
+				if b.RawLen != wantLen {
+					t.Fatalf("first=%d block %d: RawLen %d, want %d", first, i, b.RawLen, wantLen)
+				}
+			}
+			if err := br.Next(&b); err != io.EOF {
+				t.Fatalf("withIndex=%v first=%d: end error %v, want io.EOF", withIndex, first, err)
+			}
+		}
+	}
+}
+
+// Trailing bytes that are not a valid trailer must still be rejected.
+func TestIndexTrailerCorruption(t *testing.T) {
+	src := indexTestSrc(9000)
+	comp, _, _ := indexContainer(t, src, 2048, true)
+	plain, _, _ := indexContainer(t, src, 2048, false)
+
+	mutations := map[string][]byte{
+		"junk after blocks":  append(append([]byte(nil), plain...), 1, 2, 3),
+		"junk after trailer": append(append([]byte(nil), comp...), 0),
+		"bad magic":          flipByte(comp, len(comp)-1),
+		"bad varint area":    flipByte(comp, len(comp)-IndexFooterSize-1),
+		"bad length":         flipByte(comp, len(comp)-IndexFooterSize+1),
+	}
+	for name, mut := range mutations {
+		if _, err := ParseFile(mut); err == nil {
+			t.Errorf("%s: ParseFile accepted a corrupt container", name)
+		}
+		br, err := NewBlockReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		var b Block
+		for err == nil {
+			err = br.Next(&b)
+		}
+		if err == io.EOF {
+			t.Errorf("%s: BlockReader accepted a corrupt container", name)
+		}
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0xff
+	return out
+}
+
+// Lying counts in a tiny crafted container must error without provoking
+// count-proportional allocations (a 35-byte file claiming 2^28 blocks).
+func TestIndexLyingCounts(t *testing.T) {
+	h := FileHeader{
+		Variant:   VariantByte,
+		Window:    8 << 10,
+		MinMatch:  4,
+		MaxMatch:  64,
+		BlockSize: 256 << 10,
+		RawSize:   1 << 40,
+		NumBlocks: 1 << 28,
+	}
+	tiny := AppendHeader(nil, h)
+	if _, err := BuildIndex(tiny, h); err == nil {
+		t.Fatal("BuildIndex accepted a 35-byte container claiming 2^28 blocks")
+	}
+	if _, _, err := ScanIndex(bytes.NewReader(tiny)); err == nil {
+		t.Fatal("ScanIndex accepted a 35-byte container claiming 2^28 blocks")
+	}
+	// A crafted footer claiming 2^28 index entries in a short trailer.
+	forged := append(append([]byte(nil), tiny...), 0, 0, 0, 0)
+	forged = append(forged, binary.LittleEndian.AppendUint32(nil, 4)...)
+	forged = append(forged, 'G', 'P', 'I', 'X')
+	if _, err := ReadIndexAt(bytes.NewReader(forged), int64(len(forged)), h); err == nil {
+		t.Fatal("ReadIndexAt accepted a forged trailer for 2^28 blocks")
+	}
+}
+
+// A block record claiming a ~4 GiB payload must be detected by reading,
+// not trusted with an up-front allocation.
+func TestBlockReaderLyingPayloadLen(t *testing.T) {
+	h := FileHeader{
+		Variant:   VariantByte,
+		Window:    8 << 10,
+		MinMatch:  4,
+		MaxMatch:  64,
+		BlockSize: 256 << 10,
+		RawSize:   1 << 10,
+		NumBlocks: 1,
+	}
+	comp := AppendHeader(nil, h)
+	comp = binary.LittleEndian.AppendUint32(comp, 1<<10)      // RawLen
+	comp = binary.LittleEndian.AppendUint32(comp, 1)          // NumSeqs
+	comp = binary.LittleEndian.AppendUint32(comp, 0xFFFFFFF0) // payloadLen lie
+	comp = append(comp, make([]byte, 4096)...)                // far fewer bytes
+	br, err := NewBlockReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Block
+	if err := br.Next(&b); err == nil {
+		t.Fatal("BlockReader accepted a block claiming a 4 GiB payload")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 
 	"gompresso/internal/huffman"
 )
@@ -20,6 +21,7 @@ type BlockReader struct {
 	hdr    FileHeader
 	left   uint32 // blocks not yet returned
 	seen   uint64 // raw bytes described by returned blocks
+	off    int64  // container offset of the next unread byte
 	head   [HeaderSize]byte
 	packed []byte // scratch for nibble-packed code-length arrays
 }
@@ -36,11 +38,35 @@ func NewBlockReader(r io.Reader) (*BlockReader, error) {
 	}
 	br.hdr = h
 	br.left = h.NumBlocks
+	br.off = HeaderSize
 	return br, nil
+}
+
+// NewBlockReaderAt resumes block-at-a-time reading in the middle of a
+// container whose header h has already been parsed: r must be positioned at
+// block firstBlock's record, whose container offset is off (both typically
+// from an Index). The returned reader yields blocks firstBlock..NumBlocks-1
+// and then applies the same end-of-stream validation as a full read.
+func NewBlockReaderAt(r io.Reader, h FileHeader, firstBlock uint32, off int64) *BlockReader {
+	seen := uint64(firstBlock) * uint64(h.BlockSize)
+	if seen > h.RawSize {
+		seen = h.RawSize
+	}
+	return &BlockReader{
+		r:    bufio.NewReaderSize(r, 64<<10),
+		hdr:  h,
+		left: h.NumBlocks - firstBlock,
+		seen: seen,
+		off:  off,
+	}
 }
 
 // Header returns the parsed file header.
 func (br *BlockReader) Header() FileHeader { return br.hdr }
+
+// Offset returns the container offset of the next unread byte — after Next
+// returns block i, the offset where block i+1's record starts.
+func (br *BlockReader) Offset() int64 { return br.off }
 
 // Next reads the next block into b, reusing b's slices when they have
 // capacity. It returns io.EOF after the last block, verifying that the
@@ -51,9 +77,23 @@ func (br *BlockReader) Next(b *Block) error {
 		if br.seen != br.hdr.RawSize {
 			return fmt.Errorf("%w: blocks total %d raw bytes, header says %d", ErrFormat, br.seen, br.hdr.RawSize)
 		}
-		if _, err := br.r.ReadByte(); err != io.EOF {
+		// The only bytes allowed after the last block are a valid index
+		// trailer whose offsets reproduce the block section just read.
+		tail, err := io.ReadAll(io.LimitReader(br.r, maxTrailerSize(br.hdr)+1))
+		if err != nil {
+			return fmt.Errorf("%w: reading past last block: %v", ErrFormat, err)
+		}
+		if len(tail) == 0 {
+			return io.EOF
+		}
+		idx, err := parseIndexBytes(tail, br.hdr)
+		if err != nil || idx.Offsets[br.hdr.NumBlocks] != br.off {
 			return fmt.Errorf("%w: trailing bytes after last block", ErrFormat)
 		}
+		if _, err := br.r.ReadByte(); err != io.EOF {
+			return fmt.Errorf("%w: trailing bytes after index trailer", ErrFormat)
+		}
+		br.off += int64(len(tail))
 		return io.EOF
 	}
 	bi := br.hdr.NumBlocks - br.left
@@ -62,6 +102,7 @@ func (br *BlockReader) Next(b *Block) error {
 	if _, err := io.ReadFull(br.r, fixed[:]); err != nil {
 		return fmt.Errorf("%w: block %d: truncated header (%v)", ErrFormat, bi, err)
 	}
+	br.off += 12
 	b.RawLen = int(binary.LittleEndian.Uint32(fixed[:]))
 	b.NumSeqs = int(binary.LittleEndian.Uint32(fixed[4:]))
 	payloadLen := int(binary.LittleEndian.Uint32(fixed[8:]))
@@ -90,6 +131,7 @@ func (br *BlockReader) Next(b *Block) error {
 		if _, err := io.ReadFull(br.r, cnt[:]); err != nil {
 			return fmt.Errorf("%w: block %d: truncated sub-block count (%v)", ErrFormat, bi, err)
 		}
+		br.off += 4
 		numSubs := int(binary.LittleEndian.Uint32(cnt[:]))
 		if br.hdr.SeqsPerSub == 0 {
 			return fmt.Errorf("%w: block %d: zero sequences per sub-block", ErrFormat, bi)
@@ -102,12 +144,13 @@ func (br *BlockReader) Next(b *Block) error {
 			return fmt.Errorf("%w: block %d: %d sub-blocks for %d seqs (%d per sub)", ErrFormat, bi, numSubs, b.NumSeqs, br.hdr.SeqsPerSub)
 		}
 		var totalBits int64
+		cr := countingByteReader{r: br.r}
 		for s := 0; s < numSubs; s++ {
-			v, err := binary.ReadUvarint(br.r)
+			v, err := binary.ReadUvarint(&cr)
 			if err != nil {
 				return fmt.Errorf("%w: block %d: bad sub-block size varint", ErrFormat, bi)
 			}
-			lv, err := binary.ReadUvarint(br.r)
+			lv, err := binary.ReadUvarint(&cr)
 			if err != nil {
 				return fmt.Errorf("%w: block %d: bad sub-block literal varint", ErrFormat, bi)
 			}
@@ -118,18 +161,59 @@ func (br *BlockReader) Next(b *Block) error {
 		if totalBits > int64(payloadLen)*8 {
 			return fmt.Errorf("%w: block %d: sub-block bits %d exceed payload", ErrFormat, bi, totalBits)
 		}
+		br.off += cr.n
 	}
 
-	if cap(b.Payload) < payloadLen {
-		b.Payload = make([]byte, payloadLen)
-	}
-	b.Payload = b.Payload[:payloadLen]
-	if _, err := io.ReadFull(br.r, b.Payload); err != nil {
+	if err := br.readPayload(b, payloadLen); err != nil {
 		return fmt.Errorf("%w: block %d: truncated payload (%v)", ErrFormat, bi, err)
 	}
+	br.off += int64(payloadLen)
 	br.seen += uint64(b.RawLen)
 	br.left--
 	return nil
+}
+
+// readPayload fills b.Payload with payloadLen bytes from the stream. The
+// length field is attacker-controlled, so when the buffer must grow it
+// grows incrementally, verifying each chunk actually arrives — a lying
+// length cannot force an allocation larger than the bytes present. The
+// steady state (buffer already at block size) stays one ReadFull, no
+// allocations.
+func (br *BlockReader) readPayload(b *Block, payloadLen int) error {
+	if cap(b.Payload) >= payloadLen {
+		b.Payload = b.Payload[:payloadLen]
+		_, err := io.ReadFull(br.r, b.Payload)
+		return err
+	}
+	const chunk = 1 << 20
+	b.Payload = b.Payload[:0]
+	for len(b.Payload) < payloadLen {
+		n := payloadLen - len(b.Payload)
+		if n > chunk {
+			n = chunk
+		}
+		start := len(b.Payload)
+		b.Payload = slices.Grow(b.Payload, n)[:start+n]
+		if _, err := io.ReadFull(br.r, b.Payload[start:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countingByteReader counts the bytes ReadUvarint consumes so Next can
+// account for variable-length fields in the container offset.
+type countingByteReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
 }
 
 // readLengths reads an n-symbol nibble-packed code-length array into dst.
@@ -142,6 +226,7 @@ func (br *BlockReader) readLengths(dst []uint8, n int) ([]uint8, error) {
 	if _, err := io.ReadFull(br.r, packed); err != nil {
 		return dst, fmt.Errorf("tree truncated: %v", err)
 	}
+	br.off += int64(need)
 	if cap(dst) < n {
 		dst = make([]uint8, n)
 	}

@@ -29,16 +29,11 @@ func start() {
 	}
 }
 
-// For runs fn(i) for every i in [0, n) using at most workers concurrent
-// executors: up to workers-1 strided shares on the persistent pool, plus one
-// share inline on the caller. The inline share guarantees progress even when
-// the pool is saturated by concurrent calls; if the pool's queue is full, a
-// share simply runs inline too, so a call can never deadlock and never
-// blocks behind unrelated work. workers ≤ 0 selects the pool size.
-func For(n, workers int, fn func(i int)) {
-	if n == 0 {
-		return
-	}
+// Workers returns the number of concurrent executors For and ForShare will
+// actually use for n items and a requested worker count — the clamp applied
+// by both. Callers use it to size per-share state (scratch buffers) before
+// a ForShare call.
+func Workers(n, workers int) int {
 	once.Do(start)
 	if workers <= 0 || workers > size {
 		workers = size
@@ -46,13 +41,35 @@ func For(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) using at most workers concurrent
+// executors: up to workers-1 strided shares on the persistent pool, plus one
+// share inline on the caller. The inline share guarantees progress even when
+// the pool is saturated by concurrent calls; if the pool's queue is full, a
+// share simply runs inline too, so a call can never deadlock and never
+// blocks behind unrelated work. workers ≤ 0 selects the pool size.
+func For(n, workers int, fn func(i int)) {
+	ForShare(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForShare is For with the executing share's index passed to fn: every call
+// with the same share value runs on the same executor, and share is always
+// in [0, Workers(n, workers)), so callers can hoist per-worker state (e.g.
+// decode scratch) out of the per-item body without locking.
+func ForShare(n, workers int, fn func(share, i int)) {
+	if n == 0 {
+		return
+	}
+	workers = Workers(n, workers)
 	var wg sync.WaitGroup
 	for t := 1; t < workers; t++ {
 		share := t
 		task := func() {
 			defer wg.Done()
 			for i := share; i < n; i += workers {
-				fn(i)
+				fn(share, i)
 			}
 		}
 		wg.Add(1)
@@ -63,7 +80,7 @@ func For(n, workers int, fn func(i int)) {
 		}
 	}
 	for i := 0; i < n; i += workers {
-		fn(i)
+		fn(0, i)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,192 @@
+package gompresso
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"gompresso/internal/format"
+	"gompresso/internal/parallel"
+)
+
+// ReaderAt serves positioned reads of a container's decompressed contents —
+// the shape an object-store range server or a columnar scan needs. It is
+// safe for concurrent use: every ReadAt call is independent, decoding only
+// the blocks that overlap the requested range (in parallel, on the shared
+// worker pool, when the range spans several) with buffers and decode
+// scratch drawn from pools.
+//
+// The block index comes from the container's optional index trailer
+// (Options.Index) when present; otherwise construction scans the block
+// section once. For a sequential view of a sub-range, wrap a ReaderAt in an
+// io.SectionReader.
+type ReaderAt struct {
+	ra  io.ReaderAt
+	hdr format.FileHeader
+	idx *format.Index
+}
+
+// NewReaderAt opens a Gompresso container stored in the first size bytes
+// of ra for random access.
+func NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
+	head := make([]byte, format.HeaderSize)
+	if _, err := ra.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("gompresso: reading header: %w", err)
+	}
+	hdr, err := format.ParseHeader(head)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := format.ReadIndexAt(ra, size, hdr)
+	if err != nil {
+		// No trailer: one streaming scan of the block section.
+		_, idx, err = format.ScanIndex(io.NewSectionReader(ra, 0, size))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ReaderAt{ra: ra, hdr: hdr, idx: idx}, nil
+}
+
+// Header returns the container's file header.
+func (r *ReaderAt) Header() FileHeader { return r.hdr }
+
+// Size returns the decompressed size of the container.
+func (r *ReaderAt) Size() int64 { return int64(r.hdr.RawSize) }
+
+// blockSpan returns the raw block size used for block arithmetic.
+func (r *ReaderAt) blockSpan() int64 {
+	if bs := int64(r.hdr.BlockSize); bs > 0 {
+		return bs
+	}
+	return int64(r.hdr.RawSize) // degenerate single-block container
+}
+
+// ReadAt implements io.ReaderAt over the decompressed stream. A read that
+// reaches the end of the stream returns the bytes read and io.EOF, per the
+// io.ReaderAt contract.
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("gompresso: negative read offset %d", off)
+	}
+	raw := int64(r.hdr.RawSize)
+	if len(p) == 0 {
+		if off > raw {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+	if off >= raw {
+		return 0, io.EOF
+	}
+	want := len(p)
+	if int64(want) > raw-off {
+		want = int(raw - off)
+	}
+	bs := r.blockSpan()
+	b0 := off / bs
+	nb := (off+int64(want)-1)/bs - b0 + 1
+	errs := make([]error, nb)
+	workers := parallel.Workers(int(nb), 0)
+	scratch := make([]*format.DecodeScratch, workers)
+	if r.hdr.Variant == format.VariantBit {
+		for i := range scratch {
+			scratch[i] = format.GetScratch()
+		}
+		defer func() {
+			for _, sc := range scratch {
+				format.PutScratch(sc)
+			}
+		}()
+	}
+	parallel.ForShare(int(nb), 0, func(share, k int) {
+		errs[k] = r.readBlock(p[:want], off, b0+int64(k), scratch[share])
+	})
+	for k, err := range errs {
+		if err != nil {
+			// Everything before the failing block was decoded in full.
+			good := (b0+int64(k))*bs - off
+			if good < 0 {
+				good = 0
+			}
+			return int(good), err
+		}
+	}
+	if want < len(p) {
+		return want, io.EOF
+	}
+	return want, nil
+}
+
+// blockBufPool recycles whole-block decode buffers for reads that cover a
+// block only partially.
+var blockBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// compBufPool recycles compressed-record buffers.
+var compBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func pooledBuf(pool *sync.Pool, n int) *[]byte {
+	bp := pool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// readBlock decodes block bi into the part of p (the request for
+// [off, off+len(p)) of the raw stream) that the block overlaps. Blocks
+// fully inside the request decode straight into p; edge blocks decode into
+// a pooled buffer first.
+func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScratch) error {
+	start, end := r.idx.Offsets[bi], r.idx.Offsets[bi+1]
+	cp := pooledBuf(&compBufPool, int(end-start))
+	defer compBufPool.Put(cp)
+	if _, err := r.ra.ReadAt(*cp, start); err != nil {
+		return fmt.Errorf("gompresso: block %d: %w", bi, err)
+	}
+	var blk format.Block
+	if _, err := format.ParseBlock(r.hdr, uint32(bi), *cp, &blk); err != nil {
+		return err
+	}
+	bs := r.blockSpan()
+	rawStart := bi * bs
+	wantLen := int64(r.hdr.RawSize) - rawStart
+	if wantLen > bs {
+		wantLen = bs
+	}
+	if int64(blk.RawLen) != wantLen {
+		return fmt.Errorf("%w: block %d: raw length %d, expected %d",
+			format.ErrFormat, bi, blk.RawLen, wantLen)
+	}
+	lo, hi := rawStart, rawStart+int64(blk.RawLen)
+	if lo < off {
+		lo = off
+	}
+	if reqHi := off + int64(len(p)); hi > reqHi {
+		hi = reqHi
+	}
+	var dst []byte
+	whole := lo == rawStart && hi == rawStart+int64(blk.RawLen)
+	if whole {
+		dst = p[rawStart-off : rawStart-off+int64(blk.RawLen)]
+	} else {
+		bp := pooledBuf(&blockBufPool, blk.RawLen)
+		defer blockBufPool.Put(bp)
+		dst = *bp
+	}
+	var err error
+	if r.hdr.Variant == format.VariantByte {
+		err = format.DecodeByteInto(dst, blk.Payload, blk.NumSeqs)
+	} else {
+		bb := bitBlockView(r.hdr, &blk)
+		err = bb.DecodeBitInto(dst, sc)
+	}
+	if err != nil {
+		return fmt.Errorf("gompresso: %w", err)
+	}
+	if !whole {
+		copy(p[lo-off:hi-off], dst[lo-rawStart:hi-rawStart])
+	}
+	return nil
+}

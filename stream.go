@@ -1,47 +1,173 @@
 package gompresso
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"gompresso/internal/format"
+	"gompresso/internal/parallel"
 )
 
 // Reader streams the decompressed contents of a Gompresso container from an
-// io.Reader, one block at a time, through the host engine's fused fast path.
-// It never buffers more than one compressed and one decompressed block, and
-// after warm-up its read loop is allocation-free (block buffers and decoder
-// tables are reused across blocks), which is what a serving path wants —
-// Decompress, by contrast, needs the whole container and output in memory.
+// io.Reader through the host engine's fused fast path. Because every block
+// is independently decompressible, the Reader runs a three-stage pipeline: a
+// fetch stage reads compressed blocks ahead of the consumer, a decode stage
+// fans them out to the shared worker pool (each worker slot owning a pooled
+// DecodeScratch), and an in-order delivery stage hands finished blocks to
+// Read/WriteTo in stream order. Readahead is bounded, so a stalled consumer
+// back-pressures the pipeline and memory stays at
+// O((Workers+Readahead) × BlockSize).
+//
+// With one worker (or a single-block container) the Reader degrades to the
+// PR-1 synchronous loop: one block buffered, allocation-free steady state,
+// no extra goroutines.
 //
 // Reader implements io.Reader and io.WriterTo; io.Copy uses WriteTo
-// automatically, decompressing block by block with no intermediate copy.
+// automatically. When the underlying reader is an io.Seeker, Reader also
+// implements io.Seeker over the *decompressed* stream, using a block index
+// read from the container's optional index trailer (Options.Index) or
+// reconstructed by a one-time scan. A Reader is not safe for concurrent
+// use; for concurrent random access see ReaderAt.
 type Reader struct {
+	src  io.Reader
+	base int64 // container start offset within src; -1 if src cannot seek
+	hdr  format.FileHeader
+	opt  ReaderOptions
+	idx  *format.Index
+
+	// Synchronous mode (one worker):
 	br  *format.BlockReader
 	blk format.Block
 	sc  *format.DecodeScratch
 
-	buf []byte // decompressed current block
-	off int    // bytes of buf already returned
-	err error  // sticky; io.EOF after the last block
+	// Pipelined mode:
+	pl *pipe
+
+	buf    []byte // decompressed current block
+	off    int    // bytes of buf already returned
+	pos    int64  // logical stream offset of the next byte to serve
+	skip   int    // bytes to discard from the next delivered block (post-Seek)
+	err    error  // sticky; io.EOF after the last block
+	closed bool
+}
+
+// ReaderOptions tunes the streaming pipeline.
+type ReaderOptions struct {
+	// Workers is the number of blocks decoded concurrently. <= 0 selects
+	// GOMAXPROCS; 1 selects the synchronous single-goroutine path. Values
+	// above the shared pool's size (GOMAXPROCS) keep their readahead
+	// buffering but gain no additional decode concurrency.
+	Workers int
+	// Readahead is the maximum number of decoded blocks buffered ahead of
+	// the consumer (the pipeline's back-pressure bound). <= 0 selects
+	// 2×Workers; values below Workers are raised to Workers.
+	Readahead int
 }
 
 // NewReader reads the container header from r and returns a streaming
-// decompressor for its blocks.
-func NewReader(r io.Reader) (*Reader, error) {
+// decompressor for its blocks with default options.
+func NewReader(r io.Reader) (*Reader, error) { return NewReaderWith(r, ReaderOptions{}) }
+
+// NewReaderWith is NewReader with explicit pipeline options.
+func NewReaderWith(r io.Reader, opt ReaderOptions) (*Reader, error) {
+	base := int64(-1)
+	if s, ok := r.(io.Seeker); ok {
+		if p, err := s.Seek(0, io.SeekCurrent); err == nil {
+			base = p
+		}
+	}
 	br, err := format.NewBlockReader(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{br: br, sc: format.GetScratch()}, nil
+	rd := &Reader{src: r, base: base, hdr: br.Header(), opt: opt}
+	rd.start(br, 0)
+	return rd, nil
 }
 
 // Header returns the container's file header.
-func (r *Reader) Header() FileHeader { return r.br.Header() }
+func (r *Reader) Header() FileHeader { return r.hdr }
 
-// advance decodes the next block into r.buf. It sets r.err on failure or at
-// end of stream.
+// workersFor returns the decode concurrency for a stream starting at block
+// first, clamped to the blocks that remain. Requests above the shared
+// pool's size keep their pipeline shape (buffering, readahead) but gain no
+// extra concurrency — the ordered queue clamps execution to the pool.
+func (r *Reader) workersFor(first uint32) int {
+	w := r.opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if rem := int(r.hdr.NumBlocks) - int(first); w > rem {
+		w = rem
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// start begins decoding blocks from br (positioned at block first),
+// choosing the synchronous loop or the pipeline by worker count.
+func (r *Reader) start(br *format.BlockReader, first uint32) {
+	w := r.workersFor(first)
+	if w <= 1 {
+		r.br = br
+		if r.sc == nil && r.hdr.Variant == format.VariantBit {
+			r.sc = format.GetScratch()
+		}
+		return
+	}
+	ra := r.opt.Readahead
+	if ra <= 0 {
+		ra = 2 * w
+	}
+	if ra < w {
+		ra = w
+	}
+	r.pl = newPipe(r.hdr, w, ra)
+	go r.pl.fetch(br)
+}
+
+// advance makes the next decompressed block current. It sets r.err on
+// failure or at end of stream.
 func (r *Reader) advance() {
+	if r.pl != nil {
+		if r.buf != nil {
+			r.pl.bufs <- r.buf // capacity covers every buffer; never blocks
+			r.buf = nil
+		}
+		r.off = 0
+		res, ok := r.pl.ord.Next()
+		if !ok {
+			r.err = errClosed
+			return
+		}
+		if res.err != nil {
+			if res.buf != nil {
+				r.pl.bufs <- res.buf
+			}
+			r.err = res.err
+			return
+		}
+		r.buf = res.buf
+	} else {
+		r.advanceSync()
+	}
+	if r.err == nil && r.skip > 0 {
+		n := r.skip
+		if n > len(r.buf) {
+			n = len(r.buf)
+		}
+		r.off, r.skip = n, r.skip-n
+	}
+}
+
+// advanceSync is the one-worker path: fetch and decode inline, reusing one
+// block and one output buffer.
+func (r *Reader) advanceSync() {
 	if err := r.br.Next(&r.blk); err != nil {
 		r.err = err
 		return
@@ -51,19 +177,10 @@ func (r *Reader) advance() {
 	}
 	r.buf = r.buf[:r.blk.RawLen]
 	r.off = 0
-	hdr := r.br.Header()
-	if hdr.Variant == format.VariantByte {
+	if r.hdr.Variant == format.VariantByte {
 		r.err = format.DecodeByteInto(r.buf, r.blk.Payload, r.blk.NumSeqs)
 	} else {
-		bb := format.BitBlock{
-			LitLenLengths: r.blk.LitLenLengths,
-			OffLengths:    r.blk.OffLengths,
-			SubBits:       r.blk.SubBits,
-			SubLits:       r.blk.SubLits,
-			Payload:       r.blk.Payload,
-			NumSeqs:       r.blk.NumSeqs,
-			SeqsPerSub:    int(hdr.SeqsPerSub),
-		}
+		bb := bitBlockView(r.hdr, &r.blk)
 		r.err = bb.DecodeBitInto(r.buf, r.sc)
 	}
 	if r.err != nil {
@@ -76,6 +193,11 @@ func (r *Reader) advance() {
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		// Zero-length reads must not trigger block decodes or pipeline
+		// stalls; io.Reader allows 0, nil for len(p) == 0.
+		return 0, nil
+	}
 	for r.off == len(r.buf) {
 		if r.err != nil {
 			return 0, r.err
@@ -84,6 +206,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 	}
 	n := copy(p, r.buf[r.off:])
 	r.off += n
+	r.pos += int64(n)
 	return n, nil
 }
 
@@ -94,6 +217,7 @@ func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 		if r.off < len(r.buf) {
 			n, err := w.Write(r.buf[r.off:])
 			r.off += n
+			r.pos += int64(n)
 			total += int64(n)
 			if err != nil {
 				return total, err
@@ -109,16 +233,293 @@ func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 	}
 }
 
-// Close releases the Reader's pooled decode scratch. It does not close the
-// underlying reader. Optional: a Reader that is not closed simply lets the
-// scratch be garbage collected.
+var (
+	errClosed    = errors.New("gompresso: reader closed")
+	errNotSeeker = errors.New("gompresso: underlying reader does not support seeking")
+)
+
+// Seek implements io.Seeker over the decompressed stream. It requires the
+// underlying reader to be an io.Seeker. The first Seek loads the block
+// index: from the container's index trailer when present (O(NumBlocks)
+// bytes read), otherwise by scanning the block section once. Seeking
+// clears a sticky decode error or EOF; seeking past the end is allowed and
+// subsequent reads return io.EOF.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	if r.closed {
+		return 0, errClosed
+	}
+	rs, ok := r.src.(io.ReadSeeker)
+	if !ok || r.base < 0 {
+		return 0, errNotSeeker
+	}
+	var target int64
+	switch whence {
+	case io.SeekStart:
+		target = offset
+	case io.SeekCurrent:
+		target = r.pos + offset
+	case io.SeekEnd:
+		target = int64(r.hdr.RawSize) + offset
+	default:
+		return 0, fmt.Errorf("gompresso: invalid whence %d", whence)
+	}
+	if target < 0 {
+		return 0, fmt.Errorf("gompresso: negative seek position %d", target)
+	}
+	// Fast path: the target is inside the block currently buffered.
+	if r.err == nil && r.skip == 0 && r.buf != nil {
+		start := r.pos - int64(r.off)
+		if target >= start && target < start+int64(len(r.buf)) {
+			r.off = int(target - start)
+			r.pos = target
+			return target, nil
+		}
+	}
+	// The underlying reader is shared with the fetch goroutine; stop the
+	// pipeline before moving the source out from under it.
+	r.stopDecoding()
+	if err := r.ensureIndex(rs); err != nil {
+		r.err = err
+		return 0, err
+	}
+	block := r.hdr.NumBlocks // past the last block: reads yield io.EOF
+	var inner int64
+	if raw := int64(r.hdr.RawSize); target < raw {
+		if bs := int64(r.hdr.BlockSize); bs > 0 {
+			block = uint32(target / bs)
+			inner = target % bs
+		} else {
+			block, inner = 0, target
+		}
+	}
+	if err := r.restart(rs, block, inner); err != nil {
+		r.err = err
+		return 0, err
+	}
+	r.pos = target
+	return target, nil
+}
+
+// stopDecoding tears down the decode machinery (pipeline or sync reader)
+// and drops the current buffer, leaving the Reader ready for restart.
+func (r *Reader) stopDecoding() {
+	if r.pl != nil {
+		r.pl.shutdown()
+		r.pl = nil
+	}
+	r.br = nil
+	// Drop the current buffer unconditionally: it belongs to the old
+	// pipeline (whose recycle channels are gone) or to the old sync loop,
+	// and carrying it into a fresh pipeline would break the buffer-count
+	// invariant behind advance's non-blocking deposit.
+	r.buf = nil
+	r.off = 0
+}
+
+// ensureIndex loads the block index, preferring the container's trailer
+// over a full scan.
+func (r *Reader) ensureIndex(rs io.ReadSeeker) error {
+	if r.idx != nil {
+		return nil
+	}
+	if end, err := rs.Seek(0, io.SeekEnd); err == nil {
+		ra := readerAtFunc(func(p []byte, off int64) (int, error) {
+			if _, err := rs.Seek(r.base+off, io.SeekStart); err != nil {
+				return 0, err
+			}
+			return io.ReadFull(rs, p)
+		})
+		if idx, err := format.ReadIndexAt(ra, end-r.base, r.hdr); err == nil {
+			r.idx = idx
+			return nil
+		}
+	}
+	// No trailer: scan the block section once.
+	if _, err := rs.Seek(r.base, io.SeekStart); err != nil {
+		return err
+	}
+	_, idx, err := format.ScanIndex(rs)
+	if err != nil {
+		return err
+	}
+	r.idx = idx
+	return nil
+}
+
+// readerAtFunc adapts a positioned-read closure to io.ReaderAt.
+type readerAtFunc func(p []byte, off int64) (int, error)
+
+func (f readerAtFunc) ReadAt(p []byte, off int64) (int, error) { return f(p, off) }
+
+// restart repositions the stream at the given block, discarding inner bytes
+// of its decoded output, and spins the decode machinery back up.
+func (r *Reader) restart(rs io.ReadSeeker, block uint32, inner int64) error {
+	r.stopDecoding()
+	r.err = nil
+	r.skip = int(inner)
+	off := r.idx.Offsets[block]
+	if _, err := rs.Seek(r.base+off, io.SeekStart); err != nil {
+		return err
+	}
+	r.start(format.NewBlockReaderAt(r.src, r.hdr, block, off), block)
+	return nil
+}
+
+// Close shuts down the pipeline, waits for in-flight block decodes, and
+// releases all pooled buffers and decode scratch. It does not close the
+// underlying reader. Closing an exhausted Reader is optional but
+// recommended for pipelined readers, since it is what stops the fetch
+// goroutine early when the stream is abandoned mid-way.
 func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.pl != nil {
+		r.pl.shutdown()
+		r.pl = nil
+	}
 	if r.sc != nil {
 		format.PutScratch(r.sc)
 		r.sc = nil
 	}
+	r.buf = nil
 	if r.err == nil {
-		r.err = fmt.Errorf("gompresso: reader closed")
+		r.err = errClosed
 	}
 	return nil
+}
+
+// bitBlockView builds the stack BitBlock view of a parsed block.
+func bitBlockView(hdr format.FileHeader, blk *format.Block) format.BitBlock {
+	return format.BitBlock{
+		LitLenLengths: blk.LitLenLengths,
+		OffLengths:    blk.OffLengths,
+		SubBits:       blk.SubBits,
+		SubLits:       blk.SubLits,
+		Payload:       blk.Payload,
+		NumSeqs:       blk.NumSeqs,
+		SeqsPerSub:    int(hdr.SeqsPerSub),
+	}
+}
+
+// blockResult is one delivered pipeline block: its decoded bytes, or the
+// error (io.EOF at end of stream) that ends the stream at this position.
+type blockResult struct {
+	buf []byte
+	err error
+}
+
+// pipe is the pipelined Reader's machinery. Buffer ownership moves through
+// channels: compressed blocks cycle fetch→decode→fetch, decoded buffers
+// cycle fetch→decode→consumer→fetch, and decode scratch cycles among at
+// most `workers` concurrent decode tasks, so the steady state allocates
+// nothing and total memory is bounded by the channel capacities.
+type pipe struct {
+	hdr    format.FileHeader
+	ord    *parallel.Ordered[blockResult]
+	bufs   chan []byte                // decoded-output recycle, cap readahead+1
+	blocks chan *format.Block         // compressed-block recycle, cap readahead+1
+	scs    chan *format.DecodeScratch // per-worker decode scratch (Bit variant)
+	nsc    int
+	stop   chan struct{}
+	once   sync.Once
+	done   chan struct{} // fetch goroutine exited
+}
+
+func newPipe(hdr format.FileHeader, workers, readahead int) *pipe {
+	p := &pipe{
+		hdr:    hdr,
+		ord:    parallel.NewOrdered[blockResult](workers, readahead),
+		bufs:   make(chan []byte, readahead+1),
+		blocks: make(chan *format.Block, readahead+1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < readahead+1; i++ {
+		p.bufs <- nil // grown to block size on first use
+		p.blocks <- new(format.Block)
+	}
+	if hdr.Variant == format.VariantBit {
+		// Scratch is provisioned for achievable concurrency, not the raw
+		// request: the ordered queue admits at most min(workers, pool size)
+		// concurrent decodes, so extra requested workers must not pin extra
+		// pooled decode tables.
+		p.nsc = parallel.Workers(workers, workers)
+		p.scs = make(chan *format.DecodeScratch, p.nsc)
+		for i := 0; i < p.nsc; i++ {
+			p.scs <- format.GetScratch()
+		}
+	}
+	return p
+}
+
+// fetch is the pipeline's first stage: it reads compressed blocks and
+// submits decode tasks in stream order. The terminal br.Next error
+// (io.EOF, or a malformed-container error) is submitted through the same
+// ordered queue, so the consumer sees every decoded block before it.
+func (p *pipe) fetch(br *format.BlockReader) {
+	defer close(p.done)
+	defer p.ord.Finish()
+	for {
+		var blk *format.Block
+		select {
+		case blk = <-p.blocks:
+		case <-p.stop:
+			return
+		}
+		if err := br.Next(blk); err != nil {
+			p.ord.Submit(func() blockResult { return blockResult{err: err} })
+			return
+		}
+		var buf []byte
+		select {
+		case buf = <-p.bufs:
+		case <-p.stop:
+			return
+		}
+		b := blk
+		if !p.ord.Submit(func() blockResult { return p.decode(b, buf) }) {
+			return
+		}
+	}
+}
+
+// decode is the pipeline's second stage, run on the shared worker pool.
+// The compressed block recycles as soon as its bytes are consumed; the
+// decoded buffer travels onward to the consumer.
+func (p *pipe) decode(blk *format.Block, buf []byte) blockResult {
+	if cap(buf) < blk.RawLen {
+		buf = make([]byte, blk.RawLen)
+	}
+	buf = buf[:blk.RawLen]
+	var err error
+	if p.hdr.Variant == format.VariantByte {
+		err = format.DecodeByteInto(buf, blk.Payload, blk.NumSeqs)
+	} else {
+		// Never blocks: Ordered admits at most nsc concurrent decodes, and
+		// each returns its scratch before releasing its concurrency slot.
+		sc := <-p.scs
+		bb := bitBlockView(p.hdr, blk)
+		err = bb.DecodeBitInto(buf, sc)
+		p.scs <- sc
+	}
+	p.blocks <- blk
+	if err != nil {
+		return blockResult{buf: buf, err: fmt.Errorf("gompresso: %w", err)}
+	}
+	return blockResult{buf: buf}
+}
+
+// shutdown stops the fetch stage, waits for every in-flight decode, and
+// returns the pipeline's scratch to the package pool. Idempotent.
+func (p *pipe) shutdown() {
+	p.once.Do(func() { close(p.stop) })
+	p.ord.Stop()
+	<-p.done
+	p.ord.Wait()
+	for i := 0; i < p.nsc; i++ {
+		format.PutScratch(<-p.scs)
+	}
+	p.nsc = 0
 }

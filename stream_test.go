@@ -3,10 +3,13 @@ package gompresso_test
 import (
 	"bytes"
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"gompresso"
 	"gompresso/internal/datagen"
+	"gompresso/internal/format"
 )
 
 // The streaming Reader must produce byte-identical output to Decompress for
@@ -141,4 +144,308 @@ func TestStreamingReaderTruncated(t *testing.T) {
 			t.Fatalf("cut %d: truncated stream decoded without error", cut)
 		}
 	}
+}
+
+// The pipelined reader (workers > 1) must be byte-identical to the
+// synchronous path for every variant, worker count, and readahead bound,
+// via both small Read calls and WriteTo.
+func TestStreamingReaderParallel(t *testing.T) {
+	src := datagen.WikiXML(1<<20, 13)
+	for _, variant := range []gompresso.Variant{gompresso.VariantBit, gompresso.VariantByte} {
+		comp, _, err := gompresso.Compress(src, gompresso.Options{
+			Variant: variant, DE: gompresso.DEStrict, BlockSize: 64 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opt := range []gompresso.ReaderOptions{
+			{Workers: 2},
+			{Workers: 4},
+			{Workers: 4, Readahead: 1}, // raised to Workers
+			{Workers: 4, Readahead: 16},
+			{Workers: 64}, // clamped to the block count
+		} {
+			r, err := gompresso.NewReaderWith(bytes.NewReader(comp), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			buf := make([]byte, 7777)
+			for {
+				n, err := r.Read(buf)
+				got.Write(buf[:n])
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("%v/%+v: read: %v", variant, opt, err)
+				}
+			}
+			if !bytes.Equal(got.Bytes(), src) {
+				t.Fatalf("%v/%+v: Read stream mismatch", variant, opt)
+			}
+			r.Close()
+
+			r2, err := gompresso.NewReaderWith(bytes.NewReader(comp), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got2 bytes.Buffer
+			if _, err := io.Copy(&got2, r2); err != nil {
+				t.Fatalf("%v/%+v: copy: %v", variant, opt, err)
+			}
+			if !bytes.Equal(got2.Bytes(), src) {
+				t.Fatalf("%v/%+v: WriteTo stream mismatch", variant, opt)
+			}
+			r2.Close()
+		}
+	}
+}
+
+// A zero-length Read must return immediately without decoding blocks or
+// touching the pipeline.
+func TestStreamingReaderZeroLengthRead(t *testing.T) {
+	src := datagen.WikiXML(256<<10, 17)
+	comp, _, err := gompresso.Compress(src, gompresso.Options{BlockSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		r, err := gompresso.NewReaderWith(bytes.NewReader(comp), gompresso.ReaderOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if n, err := r.Read(nil); n != 0 || err != nil {
+				t.Fatalf("workers=%d: Read(nil) = %d, %v", workers, n, err)
+			}
+		}
+		out, err := io.ReadAll(r)
+		if err != nil || !bytes.Equal(out, src) {
+			t.Fatalf("workers=%d: stream after zero-length reads broken: %v", workers, err)
+		}
+		// Zero-length reads at EOF are still 0, nil per io.Reader.
+		if n, err := r.Read(nil); n != 0 || err != nil {
+			t.Fatalf("workers=%d: Read(nil) at EOF = %d, %v", workers, n, err)
+		}
+		r.Close()
+	}
+}
+
+// corruptBlock returns comp with block k's sequence count decremented
+// without changing its sub-block count, which makes exactly that block's
+// decode fail. ok is false when the layout does not allow the mutation.
+func corruptBlock(t *testing.T, comp []byte, k int) ([]byte, bool) {
+	t.Helper()
+	h, err := gompresso.Info(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := format.BuildIndex(comp, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int(idx.Offsets[k]) + 4 // RawLen, then NumSeqs
+	numSeqs := int(uint32(comp[off]) | uint32(comp[off+1])<<8 |
+		uint32(comp[off+2])<<16 | uint32(comp[off+3])<<24)
+	spb := int(h.SeqsPerSub)
+	mutated := numSeqs - 1
+	if mutated <= 0 || (h.Variant == gompresso.VariantBit &&
+		(mutated+spb-1)/spb != (numSeqs+spb-1)/spb) {
+		return nil, false
+	}
+	mut := append([]byte(nil), comp...)
+	mut[off] = byte(mutated)
+	mut[off+1] = byte(mutated >> 8)
+	mut[off+2] = byte(mutated >> 16)
+	mut[off+3] = byte(mutated >> 24)
+	return mut, true
+}
+
+// A corrupt block in the middle of the stream must surface its error at
+// exactly the block's byte offset: every byte of the preceding blocks is
+// served (in order) and nothing from the corrupt block onward.
+func TestStreamingReaderMidStreamError(t *testing.T) {
+	const blockSize = 64 << 10
+	src := datagen.WikiXML(512<<10, 19)
+	for _, variant := range []gompresso.Variant{gompresso.VariantBit, gompresso.VariantByte} {
+		comp, _, err := gompresso.Compress(src, gompresso.Options{Variant: variant, BlockSize: blockSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 3
+		mut, ok := corruptBlock(t, comp, k)
+		if !ok {
+			t.Skipf("%v: block %d layout does not allow the mutation", variant, k)
+		}
+		for _, workers := range []int{1, 4} {
+			r, err := gompresso.NewReaderWith(bytes.NewReader(mut), gompresso.ReaderOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(r)
+			if err == nil {
+				t.Fatalf("%v workers=%d: corrupt stream decoded without error", variant, workers)
+			}
+			if len(got) != k*blockSize {
+				t.Fatalf("%v workers=%d: error surfaced at byte %d, want %d",
+					variant, workers, len(got), k*blockSize)
+			}
+			if !bytes.Equal(got, src[:k*blockSize]) {
+				t.Fatalf("%v workers=%d: bytes before the corrupt block differ", variant, workers)
+			}
+			r.Close()
+		}
+	}
+}
+
+// Closing a pipelined reader mid-stream must stop its fetch goroutine and
+// release every in-flight decode — no goroutine may outlive Close (the
+// shared pool's persistent workers are part of the warmed baseline).
+func TestStreamingReaderCloseMidStreamNoLeak(t *testing.T) {
+	src := datagen.WikiXML(1<<20, 23)
+	comp, _, err := gompresso.Compress(src, gompresso.Options{BlockSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := gompresso.NewReaderWith(bytes.NewReader(comp), gompresso.ReaderOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, warm); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	for i := 0; i < 10; i++ {
+		r, err := gompresso.NewReaderWith(bytes.NewReader(comp), gompresso.ReaderOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Consume one byte so the pipeline is demonstrably running, then
+		// abandon the stream.
+		one := make([]byte, 1)
+		if _, err := io.ReadFull(r, one); err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by closed readers: %d running, baseline %d", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Seek must land anywhere in the decompressed stream — with or without an
+// index trailer, synchronous or pipelined — and reads after a seek must be
+// byte-identical to Decompress output.
+func TestStreamingReaderSeek(t *testing.T) {
+	const blockSize = 64 << 10
+	src := datagen.WikiXML(1<<20, 29)
+	for _, withIndex := range []bool{false, true} {
+		comp, _, err := gompresso.Compress(src, gompresso.Options{BlockSize: blockSize, Index: withIndex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			r, err := gompresso.NewReaderWith(bytes.NewReader(comp), gompresso.ReaderOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Consume a prefix first so Seek starts from a mid-stream state.
+			prefix := make([]byte, 1234)
+			if _, err := io.ReadFull(r, prefix); err != nil || !bytes.Equal(prefix, src[:1234]) {
+				t.Fatalf("index=%v workers=%d: prefix read: %v", withIndex, workers, err)
+			}
+			targets := []int64{
+				0, 1, 500, blockSize - 1, blockSize, blockSize + 1,
+				3*blockSize + 12345, int64(len(src)) - 1, int64(len(src)),
+			}
+			for _, target := range targets {
+				got, err := r.Seek(target, io.SeekStart)
+				if err != nil || got != target {
+					t.Fatalf("index=%v workers=%d: Seek(%d) = %d, %v", withIndex, workers, target, got, err)
+				}
+				want := src[target:]
+				if len(want) > 4096 {
+					want = want[:4096]
+				}
+				buf := make([]byte, len(want))
+				if len(want) == 0 {
+					if n, err := r.Read(make([]byte, 1)); n != 0 || err != io.EOF {
+						t.Fatalf("index=%v workers=%d: read at EOF = %d, %v", withIndex, workers, n, err)
+					}
+					continue
+				}
+				if _, err := io.ReadFull(r, buf); err != nil {
+					t.Fatalf("index=%v workers=%d: read after Seek(%d): %v", withIndex, workers, target, err)
+				}
+				if !bytes.Equal(buf, want) {
+					t.Fatalf("index=%v workers=%d: bytes after Seek(%d) differ", withIndex, workers, target)
+				}
+			}
+			// Relative whences agree with the decompressed stream position.
+			if _, err := r.Seek(100, io.SeekStart); err != nil {
+				t.Fatal(err)
+			}
+			buf50 := make([]byte, 50)
+			if _, err := io.ReadFull(r, buf50); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := r.Seek(10, io.SeekCurrent); err != nil || got != 160 {
+				t.Fatalf("SeekCurrent: %d, %v", got, err)
+			}
+			if _, err := io.ReadFull(r, buf50); err != nil || !bytes.Equal(buf50, src[160:210]) {
+				t.Fatalf("read after SeekCurrent mismatch (%v)", err)
+			}
+			if got, err := r.Seek(-10, io.SeekEnd); err != nil || got != int64(len(src))-10 {
+				t.Fatalf("SeekEnd: %d, %v", got, err)
+			}
+			tail, err := io.ReadAll(r)
+			if err != nil || !bytes.Equal(tail, src[len(src)-10:]) {
+				t.Fatalf("read after SeekEnd mismatch (%v)", err)
+			}
+			// Rewinding after EOF replays the whole stream.
+			if _, err := r.Seek(0, io.SeekStart); err != nil {
+				t.Fatal(err)
+			}
+			all, err := io.ReadAll(r)
+			if err != nil || !bytes.Equal(all, src) {
+				t.Fatalf("index=%v workers=%d: full replay after Seek(0) broken (%v)", withIndex, workers, err)
+			}
+			if _, err := r.Seek(-1, io.SeekStart); err == nil {
+				t.Fatal("negative seek accepted")
+			}
+			r.Close()
+			if _, err := r.Seek(0, io.SeekStart); err == nil {
+				t.Fatal("Seek on a closed reader accepted")
+			}
+		}
+	}
+
+	// A non-seekable source rejects Seek but still streams.
+	comp, _, err := gompresso.Compress(src, gompresso.Options{BlockSize: blockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := gompresso.NewReader(io.MultiReader(bytes.NewReader(comp)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); err == nil {
+		t.Fatal("Seek accepted on a non-seekable source")
+	}
+	out, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(out, src) {
+		t.Fatalf("non-seekable stream broken: %v", err)
+	}
+	r.Close()
 }
