@@ -2,7 +2,7 @@
 // in-process and writes a machine-readable BENCH_<n>.json so the performance
 // trajectory is tracked from PR to PR (see EXPERIMENTS.md).
 //
-//	go run ./cmd/bench                 # full run, writes BENCH_2.json
+//	go run ./cmd/bench                 # full run, writes BENCH_3.json
 //	go run ./cmd/bench -short          # CI smoke: small corpus, 1 iteration
 //	go run ./cmd/bench -o results.json # custom output path
 //
@@ -55,7 +55,7 @@ type report struct {
 func main() {
 	size := flag.Int("size", 8<<20, "corpus size in bytes")
 	iters := flag.Int("iters", 3, "timed iterations per benchmark (best is reported)")
-	out := flag.String("o", "BENCH_2.json", "output JSON path")
+	out := flag.String("o", "BENCH_3.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 MB corpus, 1 iteration")
 	flag.Parse()
 	if *short {
@@ -162,6 +162,61 @@ func main() {
 	if p := runtime.GOMAXPROCS(0); p > 2 {
 		rep.Benchmarks = append(rep.Benchmarks,
 			host(fmt.Sprintf("StreamReader_Bit_W%d", p), func() int { return stream(p) }))
+	}
+
+	// Compression-side scaling: the streaming Writer at fixed worker
+	// counts, plus the one-shot encoder as the reference point. The first
+	// W1 run cross-checks that the Writer's container is byte-identical to
+	// Compress.
+	writerCodec := func(workers int) *gompresso.Codec {
+		c, err := gompresso.New(
+			gompresso.WithVariant(gompresso.VariantBit),
+			gompresso.WithDE(gompresso.DEStrict),
+			gompresso.WithWorkers(workers),
+		)
+		if err != nil {
+			fatal("writer codec: %v", err)
+		}
+		return c
+	}
+	var wbuf bytes.Buffer
+	w := writerCodec(1).NewWriter(&wbuf)
+	if _, err := w.Write(wiki); err != nil {
+		fatal("writer: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		fatal("writer: %v", err)
+	}
+	if !bytes.Equal(wbuf.Bytes(), bitDE) {
+		fatal("Writer output differs from one-shot Compress")
+	}
+	wbuf = bytes.Buffer{}
+	writer := func(workers int) int {
+		w := writerCodec(workers).NewWriter(io.Discard)
+		if _, err := w.Write(wiki); err != nil {
+			fatal("writer: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			fatal("writer: %v", err)
+		}
+		return len(wiki)
+	}
+	oneShot := func() int {
+		if _, _, err := gompresso.Compress(wiki, gompresso.Options{
+			Variant: gompresso.VariantBit, DE: gompresso.DEStrict,
+		}); err != nil {
+			fatal("compress: %v", err)
+		}
+		return len(wiki)
+	}
+	rep.Benchmarks = append(rep.Benchmarks,
+		host("CompressOneShot_Bit", oneShot),
+		host("Writer_Bit_W1", func() int { return writer(1) }),
+		host("Writer_Bit_W2", func() int { return writer(2) }),
+	)
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		rep.Benchmarks = append(rep.Benchmarks,
+			host(fmt.Sprintf("Writer_Bit_W%d", p), func() int { return writer(p) }))
 	}
 
 	rep.HostFastPath.SeedBaselineMBps = seedHostBitMBps

@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	gompresso compress   [flags] <in> <out>
+//	gompresso compress   [flags] <in> <out>   ("-" streams stdin/stdout)
 //	gompresso decompress [flags] <in> <out>
 //	gompresso cat        [flags] <in>     (stream a range to stdout)
 //	gompresso info       <in>
 //	gompresso verify     [flags] <in>     (compress+decompress in memory)
+//
+// compress streams its input through the parallel gompresso.Writer, so
+// arbitrarily large inputs (including pipes) compress in bounded memory.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"gompresso"
 )
@@ -126,29 +130,76 @@ func decompressFlags(fs *flag.FlagSet) func() (gompresso.DecompressOptions, erro
 	}
 }
 
+// compressCmd streams the input through the parallel Writer: the source is
+// read one block at a time (never whole-file), blocks compress concurrently
+// on -workers goroutines, and the container streams to the output file with
+// the header backpatched at the end.
 func compressCmd(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	opts := compressFlags(fs)
+	workers := fs.Int("workers", 0, "concurrent block compressions (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("compress needs <in> <out>")
-	}
-	src, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		return err
 	}
 	o, err := opts()
 	if err != nil {
 		return err
 	}
-	comp, stats, err := gompresso.Compress(src, o)
+	c, err := gompresso.New(gompresso.WithCompressOptions(o), gompresso.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(fs.Arg(1), comp, 0o644); err != nil {
+	in := io.Reader(os.Stdin)
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	// Compress into a temp file next to the destination and rename on
+	// success, so a mid-stream failure never truncates or corrupts a
+	// pre-existing output file.
+	out := io.Writer(os.Stdout)
+	var tmp *os.File
+	if name := fs.Arg(1); name != "-" {
+		f, err := os.CreateTemp(filepath.Dir(name), filepath.Base(name)+".tmp-*")
+		if err != nil {
+			return err
+		}
+		tmp = f
+		out = f
+		defer func() {
+			if tmp != nil { // still set: we failed before the rename
+				tmp.Close()
+				os.Remove(tmp.Name())
+			}
+		}()
+	}
+	w := c.NewWriter(out)
+	if _, err := io.Copy(w, in); err != nil {
+		w.Close()
 		return err
 	}
-	fmt.Printf("%d -> %d bytes  ratio %.3f  %.1f MB/s  %d blocks  %d sequences\n",
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if tmp != nil {
+		if err := tmp.Chmod(0o644); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp.Name(), fs.Arg(1)); err != nil {
+			return err
+		}
+		tmp = nil
+	}
+	stats := w.Stats()
+	fmt.Fprintf(os.Stderr, "%d -> %d bytes  ratio %.3f  %.1f MB/s  %d blocks  %d sequences\n",
 		stats.RawSize, stats.CompSize, stats.Ratio, stats.Speed/1e6, stats.Blocks, stats.Seqs)
 	return nil
 }

@@ -1,0 +1,196 @@
+package gompresso
+
+import (
+	"context"
+	"io"
+
+	"gompresso/internal/core"
+)
+
+// ErrInvalidOption reports a configuration value outside its domain (a
+// negative worker count, a block size out of range, an unknown variant).
+// New, NewReaderWith, and every Codec constructor wrap it, so callers can
+// separate configuration mistakes from data errors with errors.Is.
+var ErrInvalidOption = core.ErrInvalidOption
+
+// Codec is a reusable, validated Gompresso configuration — the single
+// constructor for every operation the package offers. Build one with New
+// and functional options, then use it for whole buffers (Compress /
+// Decompress), streams (NewWriter / NewReader), or random access
+// (NewReaderAt). The paper's block-parallel design is symmetric — blocks
+// are independent on both sides — and so is the Codec: compression and
+// decompression share one worker budget, one readahead bound, and one
+// context.
+//
+// A Codec is immutable after New and safe for concurrent use; Readers and
+// Writers created from it each carry their own streaming state but draw on
+// the same shared worker pool.
+type Codec struct {
+	copt     core.Options
+	dopt     core.DecompressOptions
+	pipe     core.Pipeline
+	ctx      context.Context
+	stratSet bool
+}
+
+// Option configures a Codec being built by New.
+type Option func(*Codec)
+
+// WithVariant selects the entropy-coding variant. New's default is
+// VariantBit (the paper's headline configuration).
+func WithVariant(v Variant) Option { return func(c *Codec) { c.copt.Variant = v } }
+
+// WithBlockSize sets the data block size in bytes (default 256 KiB). Block
+// size is the parallelism granule on both sides of the codec.
+func WithBlockSize(n int) Option { return func(c *Codec) { c.copt.BlockSize = n } }
+
+// WithWindow sets the LZ77 sliding window in bytes (default 8 KiB).
+func WithWindow(n int) Option { return func(c *Codec) { c.copt.Window = n } }
+
+// WithDE selects the Dependency-Elimination parse mode (default DEOff:
+// unrestricted parse, decompress with MRR).
+func WithDE(m DEMode) Option { return func(c *Codec) { c.copt.DE = m } }
+
+// WithCWL sets the Bit variant's codeword length limit (default 10).
+func WithCWL(n int) Option { return func(c *Codec) { c.copt.CWL = n } }
+
+// WithSeqsPerSub sets the Bit variant's sequences per sub-block
+// (default 16).
+func WithSeqsPerSub(n int) Option { return func(c *Codec) { c.copt.SeqsPerSub = n } }
+
+// WithIndex makes compression append the GPIX index trailer (block
+// offsets), letting readers with random access seek without scanning the
+// block section first.
+func WithIndex(on bool) Option { return func(c *Codec) { c.copt.Index = on } }
+
+// WithWorkers sets the codec's worker budget — the number of blocks
+// compressed or decompressed concurrently by Compress, Decompress, and the
+// streaming Writer/Reader pipelines. 0 selects GOMAXPROCS; 1 selects the
+// synchronous single-goroutine paths.
+func WithWorkers(n int) Option {
+	return func(c *Codec) {
+		c.copt.Workers = n
+		c.dopt.Workers = n
+		c.pipe.Workers = n
+	}
+}
+
+// WithReadahead bounds how many finished blocks the streaming pipelines
+// may buffer ahead of their consumer (default 2×Workers) — the
+// back-pressure bound that keeps pipeline memory at
+// O((Workers+Readahead) × BlockSize).
+func WithReadahead(n int) Option { return func(c *Codec) { c.pipe.Readahead = n } }
+
+// WithEngine selects the decompression engine for Codec.Decompress. New's
+// default is EngineHost — the production fast path — unlike the top-level
+// Decompress, whose zero options select the paper's simulated device.
+func WithEngine(e Engine) Option { return func(c *Codec) { c.dopt.Engine = e } }
+
+// WithStrategy pins the device engine's back-reference resolution
+// strategy. Without it, Codec.Decompress picks DE for DE-parsed streams
+// and MRR otherwise.
+func WithStrategy(s Strategy) Option {
+	return func(c *Codec) {
+		c.dopt.Strategy = s
+		c.stratSet = true
+	}
+}
+
+// WithPCIe selects the device engine's transfer accounting.
+func WithPCIe(m PCIeMode) Option { return func(c *Codec) { c.dopt.PCIe = m } }
+
+// WithDevice supplies the simulated device the device engine runs on
+// (default: a Tesla K40).
+func WithDevice(d *Device) Option { return func(c *Codec) { c.dopt.Device = d } }
+
+// WithHostReference forces the host engine through the materializing
+// reference pipeline instead of the fused fast path (validation and
+// benchmarking; output is byte-identical either way).
+func WithHostReference(on bool) Option { return func(c *Codec) { c.dopt.HostReference = on } }
+
+// WithContext attaches a context to every operation the codec performs.
+// Cancelling it makes in-flight calls fail with ctx.Err() and drains the
+// streaming pipelines' workers without leaking goroutines.
+func WithContext(ctx context.Context) Option { return func(c *Codec) { c.ctx = ctx } }
+
+// WithCompressOptions seeds the whole compression-option struct at once —
+// the escape hatch for knobs without a dedicated functional option
+// (MinMatch, MaxChain, Staleness, ...). Later options still override
+// individual fields.
+func WithCompressOptions(o Options) Option { return func(c *Codec) { c.copt = o } }
+
+// New builds a Codec. With no options it selects the paper's defaults:
+// Gompresso/Bit, 256 KiB blocks, 8 KiB window, unrestricted parse, host
+// decompression, GOMAXPROCS workers. Invalid values are rejected with an
+// error wrapping ErrInvalidOption.
+func New(opts ...Option) (*Codec, error) {
+	c := &Codec{ctx: context.Background()}
+	c.copt.Variant = VariantBit
+	c.dopt.Engine = EngineHost
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.ctx == nil {
+		c.ctx = context.Background()
+	}
+	var err error
+	if c.copt, err = c.copt.Normalize(); err != nil {
+		return nil, err
+	}
+	if c.dopt, err = c.dopt.Normalize(); err != nil {
+		return nil, err
+	}
+	if c.pipe, err = c.pipe.Normalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Options returns the codec's resolved compression options — defaults
+// filled, as Compress and NewWriter run them.
+func (c *Codec) Options() Options { return c.copt }
+
+// Workers returns the codec's resolved worker budget.
+func (c *Codec) Workers() int { return c.pipe.Workers }
+
+// Compress compresses src into a Gompresso container using the codec's
+// configuration and worker budget.
+func (c *Codec) Compress(src []byte) ([]byte, *CompressStats, error) {
+	return core.CompressContext(c.ctx, src, c.copt)
+}
+
+// Decompress expands a Gompresso container. With the device engine and no
+// pinned strategy it picks DE for DE-parsed streams and MRR otherwise.
+func (c *Codec) Decompress(data []byte) ([]byte, *DecompressStats, error) {
+	o := c.dopt
+	if o.Engine == EngineDevice && !c.stratSet {
+		o.Strategy = MRR
+		if h, err := core.Info(data); err == nil && h.DEMode != DEOff {
+			o.Strategy = DE
+		}
+	}
+	return core.DecompressContext(c.ctx, data, o)
+}
+
+// Info parses and returns a container's header without decompressing.
+func (c *Codec) Info(data []byte) (FileHeader, error) { return core.Info(data) }
+
+// NewWriter returns a parallel streaming compressor writing a Gompresso
+// container to w with the codec's configuration; see Writer for the
+// pipeline and output-mode details. The container's bytes are identical to
+// what Codec.Compress would produce for the concatenated input.
+func (c *Codec) NewWriter(w io.Writer) *Writer {
+	return newWriter(w, c.copt, c.pipe, c.ctx)
+}
+
+// NewReader reads a container header from r and returns a streaming
+// decompressor running on the codec's worker budget and context.
+func (c *Codec) NewReader(r io.Reader) (*Reader, error) {
+	return newReader(r, ReaderOptions{Workers: c.pipe.Workers, Readahead: c.pipe.Readahead}, c.ctx)
+}
+
+// NewReaderAt opens a container stored in the first size bytes of ra for
+// concurrent positioned reads on the codec's worker budget and context.
+func (c *Codec) NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
+	return newReaderAt(ra, size, c.pipe.Workers, c.ctx)
+}

@@ -1,11 +1,13 @@
-// Quickstart: compress a document with Gompresso/Bit and decompress it on
-// the simulated GPU, printing the modeled device throughput and the MRR
-// round statistics that motivate Dependency Elimination.
+// Quickstart: build one Codec, stream-compress a document through the
+// parallel Writer, decompress it on the simulated GPU, and print the
+// modeled device throughput and the MRR round statistics that motivate
+// Dependency Elimination.
 package main
 
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
 	"strings"
 
@@ -18,22 +20,43 @@ func main() {
 		"Gompresso decompresses independently-compressed blocks on warps of "+
 			"32 lanes; sub-blocks make Huffman decoding parallel too. ", 20000))
 
-	// Compress with the paper's defaults (Gompresso/Bit, 256 KB blocks)
-	// plus the Dependency-Elimination parse.
-	comp, cs, err := gompresso.Compress(src, gompresso.Options{DE: gompresso.DEStrict})
+	// One codec holds the whole configuration: the paper's defaults
+	// (Gompresso/Bit, 256 KB blocks) plus the Dependency-Elimination
+	// parse and an index trailer for seeking.
+	codec, err := gompresso.New(
+		gompresso.WithDE(gompresso.DEStrict),
+		gompresso.WithIndex(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("compressed %d -> %d bytes (ratio %.2f) in %.1f ms\n",
-		cs.RawSize, cs.CompSize, cs.Ratio, cs.Seconds*1e3)
 
-	// Decompress on the simulated Tesla K40. DE streams resolve every
+	// Stream-compress through the parallel Writer: blocks are cut and
+	// compressed concurrently, and the container comes out byte-identical
+	// to codec.Compress(src).
+	var comp bytes.Buffer
+	w := codec.NewWriter(&comp)
+	if _, err := io.Copy(w, bytes.NewReader(src)); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	cs := w.Stats()
+	fmt.Printf("compressed %d -> %d bytes (ratio %.2f) in %.1f ms across %d blocks\n",
+		cs.RawSize, cs.CompSize, cs.Ratio, cs.Seconds*1e3, cs.Blocks)
+
+	// Decompress on the simulated Tesla K40. The codec picks the DE
+	// strategy automatically for DE streams, which resolve every
 	// back-reference in a single round.
-	out, ds, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
-		Engine:   gompresso.EngineDevice,
-		Strategy: gompresso.DE,
-		PCIe:     gompresso.PCIeInOut,
-	})
+	device, err := gompresso.New(
+		gompresso.WithEngine(gompresso.EngineDevice),
+		gompresso.WithPCIe(gompresso.PCIeInOut),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, ds, err := device.Decompress(comp.Bytes())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,12 +68,19 @@ func main() {
 	fmt.Printf("back-reference rounds: avg %.2f, max %d (DE guarantees 1)\n",
 		ds.Rounds.AvgRounds(), ds.Rounds.MaxRounds)
 
-	// The host engine is the bit-exact reference.
-	ref, _, err := gompresso.Decompress(comp, gompresso.DecompressOptions{
-		Engine: gompresso.EngineHost,
-	})
-	if err != nil || !bytes.Equal(ref, out) {
-		log.Fatal("host and device disagree")
+	// The host engine (the codec default) is the bit-exact reference, and
+	// the streaming Reader serves the same bytes with seeking.
+	r, err := codec.NewReader(bytes.NewReader(comp.Bytes()))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("host reference agrees: ok")
+	defer r.Close()
+	if _, err := r.Seek(int64(len(src))/2, io.SeekStart); err != nil {
+		log.Fatal(err)
+	}
+	rest, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(rest, src[len(src)/2:]) {
+		log.Fatal("seek+read mismatch")
+	}
+	fmt.Println("host streaming reader agrees after Seek: ok")
 }

@@ -6,18 +6,38 @@
 // back-references, and the block-parallel CPU baselines the paper compares
 // against.
 //
-// Quick start:
+// Quick start — build a Codec once, use it for every operation:
 //
-//	comp, _, err := gompresso.Compress(data, gompresso.Options{})
-//	out, stats, err := gompresso.Decompress(comp, gompresso.DecompressOptions{})
-//	fmt.Println(stats.Throughput()) // simulated device bytes/s
+//	codec, err := gompresso.New(
+//		gompresso.WithDE(gompresso.DEStrict),
+//		gompresso.WithIndex(true),
+//	)
+//	comp, _, err := codec.Compress(data)       // whole buffer...
+//	w := codec.NewWriter(dst)                  // ...or stream: parallel block
+//	io.Copy(w, src)                            //    compression with bounded
+//	err = w.Close()                            //    memory; same bytes out
+//	out, stats, err := codec.Decompress(comp)  // host fast path by default
+//	r, err := codec.NewReader(bytes.NewReader(comp))   // streaming + Seek
+//	ra, err := codec.NewReaderAt(file, size)           // concurrent ReadAt
 //
-// The zero Options value selects the paper's defaults: Gompresso/Bit
-// (LZ77 + limited-length Huffman), 256 KB blocks, 8 KB window, with an
-// unrestricted parse (decompress with the MRR strategy). Set
-// Options.DE = DEStrict to compress streams the single-round DE strategy
-// can decompress. See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for the reproduced evaluation.
+// New with no options selects the paper's defaults: Gompresso/Bit
+// (LZ77 + limited-length Huffman), 256 KB blocks, 8 KB window, an
+// unrestricted parse (device engine would decompress with the MRR
+// strategy), GOMAXPROCS workers, and host decompression. WithDE(DEStrict)
+// compresses streams the single-round DE strategy can decompress;
+// WithEngine(EngineDevice) decompresses on the simulated GPU.
+// Configuration mistakes are rejected at New with errors wrapping
+// ErrInvalidOption, and WithContext threads cancellation through every
+// pipeline.
+//
+// Compress, Decompress, NewReader, and NewReaderAt remain as thin per-call
+// wrappers over the same machinery for callers that don't need a reusable
+// codec. Note one historical wart the Codec fixes: the zero Options value
+// selects Gompresso/Byte (the Variant type's zero value), while New
+// defaults to Gompresso/Bit, the paper's headline configuration. The zero
+// DecompressOptions value selects the simulated device engine; New
+// defaults to the host engine. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation.
 package gompresso
 
 import (
@@ -87,13 +107,16 @@ const (
 	PCIeInOut    = core.PCIeInOut
 )
 
-// Compress compresses src into a Gompresso container.
+// Compress compresses src into a Gompresso container — the per-call
+// equivalent of building a Codec with these options and calling
+// Codec.Compress.
 func Compress(src []byte, o Options) ([]byte, *CompressStats, error) {
 	return core.Compress(src, o)
 }
 
 // Decompress expands a Gompresso container. With the zero options it runs
-// on a simulated Tesla K40 using the strategy appropriate for DE streams.
+// on a simulated Tesla K40; Codec.Decompress defaults to the host engine
+// instead.
 func Decompress(data []byte, o DecompressOptions) ([]byte, *DecompressStats, error) {
 	return core.Decompress(data, o)
 }

@@ -6,13 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"time"
 
 	"gompresso/internal/format"
 	"gompresso/internal/gpu"
-	"gompresso/internal/huffman"
 	"gompresso/internal/kernels"
 	"gompresso/internal/lz77"
 	"gompresso/internal/parallel"
@@ -45,49 +44,6 @@ type Options struct {
 // DefaultBlockSize is the paper's default data block size (§V).
 const DefaultBlockSize = 256 << 10
 
-func (o Options) withDefaults() Options {
-	if o.BlockSize == 0 {
-		o.BlockSize = DefaultBlockSize
-	}
-	if o.Window == 0 {
-		o.Window = lz77.DefaultWindow
-	}
-	if o.MinMatch == 0 {
-		o.MinMatch = lz77.DefaultMinMatch
-	}
-	if o.MaxMatch == 0 {
-		o.MaxMatch = lz77.DefaultMaxMatch
-	}
-	if o.CWL == 0 {
-		o.CWL = huffman.DefaultCWL
-	}
-	if o.SeqsPerSub == 0 {
-		o.SeqsPerSub = format.DefaultSeqsPerSub
-	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	return o
-}
-
-func (o Options) validate() error {
-	switch {
-	case o.BlockSize < 1<<10 || o.BlockSize > 1<<26:
-		return fmt.Errorf("core: block size %d out of range [1KiB, 64MiB]", o.BlockSize)
-	case o.Variant != format.VariantByte && o.Variant != format.VariantBit:
-		return fmt.Errorf("core: unknown variant %d", o.Variant)
-	case o.Variant == format.VariantByte && o.Window > format.MaxByteOffset:
-		return fmt.Errorf("core: window %d exceeds Byte-variant offset range %d", o.Window, format.MaxByteOffset)
-	case o.Window > format.MaxOffValue:
-		return fmt.Errorf("core: window %d exceeds Bit-variant offset range %d", o.Window, format.MaxOffValue)
-	case o.CWL < 2 || o.CWL > huffman.MaxCodeLen:
-		return fmt.Errorf("core: CWL %d out of range", o.CWL)
-	case o.SeqsPerSub < 1 || o.SeqsPerSub > 1<<12:
-		return fmt.Errorf("core: %d sequences per sub-block out of range", o.SeqsPerSub)
-	}
-	return nil
-}
-
 // CompressStats reports what compression did.
 type CompressStats struct {
 	RawSize   int64
@@ -102,60 +58,72 @@ type CompressStats struct {
 	GroupsDep int     // warp groups that would need >1 MRR round
 }
 
-// Compress compresses src into a Gompresso container.
-func Compress(src []byte, o Options) ([]byte, *CompressStats, error) {
-	o = o.withDefaults()
-	if err := o.validate(); err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	nb := (len(src) + o.BlockSize - 1) / o.BlockSize
+// BlockStats are one block's compression counters, aggregated into
+// CompressStats by whole-stream callers.
+type BlockStats struct {
+	Seqs      int
+	LitLen    int
+	MatchLen  int64
+	GroupsDep int
+}
 
-	lzOpts := lz77.Options{
-		Window:    o.Window,
-		MinMatch:  o.MinMatch,
-		MaxMatch:  o.MaxMatch,
-		MaxChain:  o.MaxChain,
-		DE:        o.DE,
-		Staleness: o.Staleness,
-	}
+// Accumulate folds one block's counters into the stream totals.
+func (s *CompressStats) Accumulate(bs BlockStats) {
+	s.Seqs += int64(bs.Seqs)
+	s.LitLen += int64(bs.LitLen)
+	s.MatchLen += bs.MatchLen
+	s.GroupsDep += bs.GroupsDep
+}
 
-	type result struct {
-		blk format.Block
-		ts  *lz77.TokenStream
-		err error
+// EncodeBlockRecord compresses one raw block and appends its complete
+// container record (fixed header, trees, size lists, payload) to dst.
+// o must already be normalized (Options.Normalize) and src must be at most
+// o.BlockSize bytes. It is the single per-block encoder shared by Compress
+// and the public streaming Writer, which is what guarantees the two emit
+// byte-identical containers.
+func EncodeBlockRecord(dst, src []byte, o Options) ([]byte, BlockStats, error) {
+	var bs BlockStats
+	ts, err := lz77.Parse(src, o.lzOptions())
+	if err != nil {
+		return dst, bs, err
 	}
-	results := make([]result, nb)
-	parallel.For(nb, o.Workers, func(i int) {
-		lo := i * o.BlockSize
-		hi := lo + o.BlockSize
-		if hi > len(src) {
-			hi = len(src)
+	blk := format.Block{RawLen: len(src), NumSeqs: len(ts.Seqs)}
+	if o.Variant == format.VariantByte {
+		blk.Payload, err = format.EncodeByte(ts)
+	} else {
+		var bb *format.BitBlock
+		bb, err = format.EncodeBit(ts, o.CWL, o.SeqsPerSub)
+		if err == nil {
+			blk.Payload = bb.Payload
+			blk.LitLenLengths = bb.LitLenLengths
+			blk.OffLengths = bb.OffLengths
+			blk.SubBits = bb.SubBits
+			blk.SubLits = bb.SubLits
 		}
-		ts, err := lz77.Parse(src[lo:hi], lzOpts)
-		if err != nil {
-			results[i].err = err
-			return
-		}
-		blk := format.Block{RawLen: hi - lo, NumSeqs: len(ts.Seqs)}
-		if o.Variant == format.VariantByte {
-			blk.Payload, err = format.EncodeByte(ts)
-		} else {
-			var bb *format.BitBlock
-			bb, err = format.EncodeBit(ts, o.CWL, o.SeqsPerSub)
-			if err == nil {
-				blk.Payload = bb.Payload
-				blk.LitLenLengths = bb.LitLenLengths
-				blk.OffLengths = bb.OffLengths
-				blk.SubBits = bb.SubBits
-				blk.SubLits = bb.SubLits
+	}
+	if err != nil {
+		return dst, bs, err
+	}
+	bs.Seqs = len(ts.Seqs)
+	bs.LitLen = len(ts.Literals)
+	for _, s := range ts.Seqs {
+		bs.MatchLen += int64(s.MatchLen)
+	}
+	if o.DE == lz77.DEOff {
+		mrr := lz77.AnalyzeMRR(ts, lz77.DefaultGroupSize)
+		for _, r := range mrr.Rounds {
+			if r > 1 {
+				bs.GroupsDep++
 			}
 		}
-		results[i] = result{blk: blk, ts: ts, err: err}
-	})
+	}
+	return format.AppendBlock(dst, o.Variant, &blk), bs, nil
+}
 
-	stats := &CompressStats{RawSize: int64(len(src)), Blocks: nb}
-	h := format.FileHeader{
+// Header builds the container file header Compress writes for normalized
+// options o and the given stream totals.
+func (o Options) Header(rawSize uint64, numBlocks uint32) format.FileHeader {
+	return format.FileHeader{
 		Variant:    o.Variant,
 		DEMode:     o.DE,
 		CWL:        uint8(o.CWL),
@@ -163,32 +131,57 @@ func Compress(src []byte, o Options) ([]byte, *CompressStats, error) {
 		MinMatch:   uint8(o.MinMatch),
 		MaxMatch:   uint32(o.MaxMatch),
 		BlockSize:  uint32(o.BlockSize),
-		RawSize:    uint64(len(src)),
+		RawSize:    rawSize,
 		SeqsPerSub: uint16(o.SeqsPerSub),
-		NumBlocks:  uint32(nb),
+		NumBlocks:  numBlocks,
 	}
-	out := format.AppendHeader(nil, h)
+}
+
+// Compress compresses src into a Gompresso container.
+func Compress(src []byte, o Options) ([]byte, *CompressStats, error) {
+	return CompressContext(context.Background(), src, o)
+}
+
+// CompressContext is Compress with cancellation: a context cancelled
+// mid-stream makes pending block encodes return early and the call fail
+// with ctx.Err().
+func CompressContext(ctx context.Context, src []byte, o Options) ([]byte, *CompressStats, error) {
+	o, err := o.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	nb := (len(src) + o.BlockSize - 1) / o.BlockSize
+
+	type result struct {
+		rec []byte
+		bs  BlockStats
+		err error
+	}
+	results := make([]result, nb)
+	parallel.For(nb, o.Workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			results[i].err = err
+			return
+		}
+		lo := i * o.BlockSize
+		hi := lo + o.BlockSize
+		if hi > len(src) {
+			hi = len(src)
+		}
+		results[i].rec, results[i].bs, results[i].err = EncodeBlockRecord(nil, src[lo:hi], o)
+	})
+
+	stats := &CompressStats{RawSize: int64(len(src)), Blocks: nb}
+	out := format.AppendHeader(nil, o.Header(uint64(len(src)), uint32(nb)))
 	offsets := make([]int64, 0, nb+1)
 	for i := range results {
 		if results[i].err != nil {
 			return nil, nil, fmt.Errorf("core: block %d: %w", i, results[i].err)
 		}
 		offsets = append(offsets, int64(len(out)))
-		ts := results[i].ts
-		stats.Seqs += int64(len(ts.Seqs))
-		stats.LitLen += int64(len(ts.Literals))
-		for _, s := range ts.Seqs {
-			stats.MatchLen += int64(s.MatchLen)
-		}
-		if o.DE == lz77.DEOff {
-			mrr := lz77.AnalyzeMRR(ts, lz77.DefaultGroupSize)
-			for _, r := range mrr.Rounds {
-				if r > 1 {
-					stats.GroupsDep++
-				}
-			}
-		}
-		out = format.AppendBlock(out, o.Variant, &results[i].blk)
+		stats.Accumulate(results[i].bs)
+		out = append(out, results[i].rec...)
 	}
 	if o.Index {
 		offsets = append(offsets, int64(len(out)))
@@ -292,6 +285,17 @@ func (s *DecompressStats) Throughput() float64 {
 
 // Decompress reverses Compress.
 func Decompress(data []byte, o DecompressOptions) ([]byte, *DecompressStats, error) {
+	return DecompressContext(context.Background(), data, o)
+}
+
+// DecompressContext is Decompress with cancellation: a context cancelled
+// mid-stream makes pending block decodes return early and the call fail
+// with ctx.Err().
+func DecompressContext(ctx context.Context, data []byte, o DecompressOptions) ([]byte, *DecompressStats, error) {
+	o, err := o.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
 	start := time.Now()
 	f, err := format.ParseFile(data)
 	if err != nil {
@@ -309,11 +313,11 @@ func Decompress(data []byte, o DecompressOptions) ([]byte, *DecompressStats, err
 
 	switch o.Engine {
 	case EngineHost:
-		err = decompressHost(f, out, o)
+		err = decompressHost(ctx, f, out, o)
 	case EngineDevice:
-		err = decompressDevice(f, data, out, o, stats)
-	default:
-		err = fmt.Errorf("core: unknown engine %d", o.Engine)
+		if err = ctx.Err(); err == nil {
+			err = decompressDevice(f, data, out, o, stats)
+		}
 	}
 	if err != nil {
 		return nil, nil, err
@@ -328,7 +332,7 @@ func Decompress(data []byte, o DecompressOptions) ([]byte, *DecompressStats, err
 // it runs the materializing reference pipeline instead. Decode scratch is
 // hoisted to one per worker share, so a many-block container pays the pool
 // Get/Put once per worker instead of once per block.
-func decompressHost(f *format.File, out []byte, o DecompressOptions) error {
+func decompressHost(ctx context.Context, f *format.File, out []byte, o DecompressOptions) error {
 	bs := int(f.Header.BlockSize)
 	byteVariant := f.Header.Variant == format.VariantByte
 	var scratch []*format.DecodeScratch
@@ -345,6 +349,10 @@ func decompressHost(f *format.File, out []byte, o DecompressOptions) error {
 	}
 	errs := make([]error, len(f.Blocks))
 	parallel.ForShare(len(f.Blocks), o.Workers, func(share, i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		blk := &f.Blocks[i]
 		dst := out[i*bs : i*bs+blk.RawLen : i*bs+blk.RawLen]
 		switch {

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"gompresso/internal/format"
+)
+
+func TestOptionsNormalizeDefaults(t *testing.T) {
+	o, err := Options{Variant: format.VariantBit}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.BlockSize != DefaultBlockSize || o.Window == 0 || o.MinMatch == 0 ||
+		o.MaxMatch == 0 || o.CWL == 0 || o.SeqsPerSub == 0 || o.Workers < 1 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+}
+
+func TestOptionsNormalizeRejects(t *testing.T) {
+	bad := []Options{
+		{Variant: format.VariantBit, BlockSize: -1},
+		{Variant: format.VariantBit, Workers: -1},
+		{Variant: format.VariantBit, SeqsPerSub: -1},
+		{Variant: format.VariantBit, CWL: -1},
+		{Variant: format.VariantBit, Window: -1},
+		{Variant: format.VariantBit, BlockSize: 100},
+		{Variant: 7},
+		{Variant: format.VariantBit, CWL: 1},
+	}
+	for i, o := range bad {
+		if _, err := o.Normalize(); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("case %d (%+v): want ErrInvalidOption, got %v", i, o, err)
+		}
+	}
+}
+
+func TestDecompressOptionsNormalize(t *testing.T) {
+	if _, err := (DecompressOptions{Workers: -1}).Normalize(); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("negative workers accepted: %v", err)
+	}
+	if _, err := (DecompressOptions{TileTo: -1}).Normalize(); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("negative TileTo accepted: %v", err)
+	}
+	if _, err := (DecompressOptions{Engine: 9}).Normalize(); !errors.Is(err, ErrInvalidOption) {
+		t.Errorf("unknown engine accepted: %v", err)
+	}
+	if _, err := (DecompressOptions{Engine: EngineHost}).Normalize(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestPipelineNormalize(t *testing.T) {
+	for _, p := range []Pipeline{{Workers: -1}, {Readahead: -1}} {
+		if _, err := p.Normalize(); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("%+v: want ErrInvalidOption, got %v", p, err)
+		}
+	}
+	p, err := Pipeline{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers != runtime.GOMAXPROCS(0) || p.Readahead != 2*p.Workers {
+		t.Fatalf("defaults: %+v", p)
+	}
+	p, err = Pipeline{Workers: 8, Readahead: 3}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Readahead != 8 {
+		t.Fatalf("readahead below workers not raised: %+v", p)
+	}
+}

@@ -1,6 +1,7 @@
 package gompresso
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -21,14 +22,21 @@ import (
 // section once. For a sequential view of a sub-range, wrap a ReaderAt in an
 // io.SectionReader.
 type ReaderAt struct {
-	ra  io.ReaderAt
-	hdr format.FileHeader
-	idx *format.Index
+	ra      io.ReaderAt
+	hdr     format.FileHeader
+	idx     *format.Index
+	workers int // per-call decode concurrency; 0 selects GOMAXPROCS
+	ctx     context.Context
 }
 
 // NewReaderAt opens a Gompresso container stored in the first size bytes
-// of ra for random access.
+// of ra for random access. Codec.NewReaderAt is the same, bound to a
+// codec's worker budget and context.
 func NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
+	return newReaderAt(ra, size, 0, context.Background())
+}
+
+func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context) (*ReaderAt, error) {
 	head := make([]byte, format.HeaderSize)
 	if _, err := ra.ReadAt(head, 0); err != nil {
 		return nil, fmt.Errorf("gompresso: reading header: %w", err)
@@ -45,7 +53,7 @@ func NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
 			return nil, err
 		}
 	}
-	return &ReaderAt{ra: ra, hdr: hdr, idx: idx}, nil
+	return &ReaderAt{ra: ra, hdr: hdr, idx: idx, workers: workers, ctx: ctx}, nil
 }
 
 // Header returns the container's file header.
@@ -87,7 +95,7 @@ func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	b0 := off / bs
 	nb := (off+int64(want)-1)/bs - b0 + 1
 	errs := make([]error, nb)
-	workers := parallel.Workers(int(nb), 0)
+	workers := parallel.Workers(int(nb), r.workers)
 	scratch := make([]*format.DecodeScratch, workers)
 	if r.hdr.Variant == format.VariantBit {
 		for i := range scratch {
@@ -99,7 +107,11 @@ func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
 			}
 		}()
 	}
-	parallel.ForShare(int(nb), 0, func(share, k int) {
+	parallel.ForShare(int(nb), r.workers, func(share, k int) {
+		if err := r.ctx.Err(); err != nil {
+			errs[k] = err
+			return
+		}
 		errs[k] = r.readBlock(p[:want], off, b0+int64(k), scratch[share])
 	})
 	for k, err := range errs {

@@ -1,12 +1,13 @@
 package gompresso
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 
+	"gompresso/internal/core"
 	"gompresso/internal/format"
 	"gompresso/internal/parallel"
 )
@@ -36,6 +37,7 @@ type Reader struct {
 	base int64 // container start offset within src; -1 if src cannot seek
 	hdr  format.FileHeader
 	opt  ReaderOptions
+	ctx  context.Context
 	idx  *format.Index
 
 	// Synchronous mode (one worker):
@@ -56,14 +58,16 @@ type Reader struct {
 
 // ReaderOptions tunes the streaming pipeline.
 type ReaderOptions struct {
-	// Workers is the number of blocks decoded concurrently. <= 0 selects
-	// GOMAXPROCS; 1 selects the synchronous single-goroutine path. Values
-	// above the shared pool's size (GOMAXPROCS) keep their readahead
-	// buffering but gain no additional decode concurrency.
+	// Workers is the number of blocks decoded concurrently. 0 selects
+	// GOMAXPROCS; 1 selects the synchronous single-goroutine path; negative
+	// values are rejected with ErrInvalidOption. Values above the shared
+	// pool's size (GOMAXPROCS) keep their readahead buffering but gain no
+	// additional decode concurrency.
 	Workers int
 	// Readahead is the maximum number of decoded blocks buffered ahead of
-	// the consumer (the pipeline's back-pressure bound). <= 0 selects
-	// 2×Workers; values below Workers are raised to Workers.
+	// the consumer (the pipeline's back-pressure bound). 0 selects
+	// 2×Workers; values below Workers are raised to Workers; negative
+	// values are rejected with ErrInvalidOption.
 	Readahead int
 }
 
@@ -73,6 +77,15 @@ func NewReader(r io.Reader) (*Reader, error) { return NewReaderWith(r, ReaderOpt
 
 // NewReaderWith is NewReader with explicit pipeline options.
 func NewReaderWith(r io.Reader, opt ReaderOptions) (*Reader, error) {
+	return newReader(r, opt, context.Background())
+}
+
+func newReader(r io.Reader, opt ReaderOptions, ctx context.Context) (*Reader, error) {
+	pl, err := core.Pipeline{Workers: opt.Workers, Readahead: opt.Readahead}.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	opt.Workers, opt.Readahead = pl.Workers, pl.Readahead
 	base := int64(-1)
 	if s, ok := r.(io.Seeker); ok {
 		if p, err := s.Seek(0, io.SeekCurrent); err == nil {
@@ -83,7 +96,7 @@ func NewReaderWith(r io.Reader, opt ReaderOptions) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	rd := &Reader{src: r, base: base, hdr: br.Header(), opt: opt}
+	rd := &Reader{src: r, base: base, hdr: br.Header(), opt: opt, ctx: ctx}
 	rd.start(br, 0)
 	return rd, nil
 }
@@ -92,14 +105,13 @@ func NewReaderWith(r io.Reader, opt ReaderOptions) (*Reader, error) {
 func (r *Reader) Header() FileHeader { return r.hdr }
 
 // workersFor returns the decode concurrency for a stream starting at block
-// first, clamped to the blocks that remain. Requests above the shared
-// pool's size keep their pipeline shape (buffering, readahead) but gain no
-// extra concurrency — the ordered queue clamps execution to the pool.
+// first: the reader's normalized worker budget (newReader ran
+// core.Pipeline.Normalize, the shared defaulting), clamped to the blocks
+// that remain. Requests above the shared pool's size keep their pipeline
+// shape (buffering, readahead) but gain no extra concurrency — the ordered
+// queue clamps execution to the pool.
 func (r *Reader) workersFor(first uint32) int {
 	w := r.opt.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
 	if rem := int(r.hdr.NumBlocks) - int(first); w > rem {
 		w = rem
 	}
@@ -120,14 +132,7 @@ func (r *Reader) start(br *format.BlockReader, first uint32) {
 		}
 		return
 	}
-	ra := r.opt.Readahead
-	if ra <= 0 {
-		ra = 2 * w
-	}
-	if ra < w {
-		ra = w
-	}
-	r.pl = newPipe(r.hdr, w, ra)
+	r.pl = newPipe(r.hdr, w, r.opt.Readahead, r.ctx)
 	go r.pl.fetch(br)
 }
 
@@ -168,6 +173,10 @@ func (r *Reader) advance() {
 // advanceSync is the one-worker path: fetch and decode inline, reusing one
 // block and one output buffer.
 func (r *Reader) advanceSync() {
+	if err := r.ctx.Err(); err != nil {
+		r.err = err
+		return
+	}
 	if err := r.br.Next(&r.blk); err != nil {
 		r.err = err
 		return
@@ -417,6 +426,7 @@ type blockResult struct {
 // nothing and total memory is bounded by the channel capacities.
 type pipe struct {
 	hdr    format.FileHeader
+	ctx    context.Context
 	ord    *parallel.Ordered[blockResult]
 	bufs   chan []byte                // decoded-output recycle, cap readahead+1
 	blocks chan *format.Block         // compressed-block recycle, cap readahead+1
@@ -427,9 +437,10 @@ type pipe struct {
 	done   chan struct{} // fetch goroutine exited
 }
 
-func newPipe(hdr format.FileHeader, workers, readahead int) *pipe {
+func newPipe(hdr format.FileHeader, workers, readahead int, ctx context.Context) *pipe {
 	p := &pipe{
 		hdr:    hdr,
+		ctx:    ctx,
 		ord:    parallel.NewOrdered[blockResult](workers, readahead),
 		bufs:   make(chan []byte, readahead+1),
 		blocks: make(chan *format.Block, readahead+1),
@@ -457,7 +468,10 @@ func newPipe(hdr format.FileHeader, workers, readahead int) *pipe {
 // fetch is the pipeline's first stage: it reads compressed blocks and
 // submits decode tasks in stream order. The terminal br.Next error
 // (io.EOF, or a malformed-container error) is submitted through the same
-// ordered queue, so the consumer sees every decoded block before it.
+// ordered queue, so the consumer sees every decoded block before it. A
+// cancelled Reader context ends the stream the same way, with ctx.Err()
+// delivered after the blocks already submitted. (For the default
+// background context Done() is nil and the cases never fire.)
 func (p *pipe) fetch(br *format.BlockReader) {
 	defer close(p.done)
 	defer p.ord.Finish()
@@ -466,6 +480,9 @@ func (p *pipe) fetch(br *format.BlockReader) {
 		select {
 		case blk = <-p.blocks:
 		case <-p.stop:
+			return
+		case <-p.ctx.Done():
+			p.ord.Submit(func() blockResult { return blockResult{err: p.ctx.Err()} })
 			return
 		}
 		if err := br.Next(blk); err != nil {
@@ -476,6 +493,9 @@ func (p *pipe) fetch(br *format.BlockReader) {
 		select {
 		case buf = <-p.bufs:
 		case <-p.stop:
+			return
+		case <-p.ctx.Done():
+			p.ord.Submit(func() blockResult { return blockResult{err: p.ctx.Err()} })
 			return
 		}
 		b := blk
