@@ -2,7 +2,7 @@
 // in-process and writes a machine-readable BENCH_<n>.json so the performance
 // trajectory is tracked from PR to PR (see EXPERIMENTS.md).
 //
-//	go run ./cmd/bench                 # full run, writes BENCH_3.json
+//	go run ./cmd/bench                 # full run, writes BENCH_4.json
 //	go run ./cmd/bench -short          # CI smoke: small corpus, 1 iteration
 //	go run ./cmd/bench -o results.json # custom output path
 //
@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,7 +56,7 @@ type report struct {
 func main() {
 	size := flag.Int("size", 8<<20, "corpus size in bytes")
 	iters := flag.Int("iters", 3, "timed iterations per benchmark (best is reported)")
-	out := flag.String("o", "BENCH_3.json", "output JSON path")
+	out := flag.String("o", "BENCH_4.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 MB corpus, 1 iteration")
 	flag.Parse()
 	if *short {
@@ -218,6 +219,62 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks,
 			host(fmt.Sprintf("Writer_Bit_W%d", p), func() int { return writer(p) }))
 	}
+
+	// Foreign-format serving: the same corpus as a stdlib-compressed .gz,
+	// decoded by the two-pass deflate pipeline at fixed worker counts,
+	// against the single-threaded compress/gzip baseline. The first run
+	// cross-checks byte identity with the stdlib decoder.
+	var gzBuf bytes.Buffer
+	gzw := gzip.NewWriter(&gzBuf)
+	if _, err := gzw.Write(wiki); err != nil {
+		fatal("gzip: %v", err)
+	}
+	if err := gzw.Close(); err != nil {
+		fatal("gzip: %v", err)
+	}
+	gzData := gzBuf.Bytes()
+	// Both sides materialize the full output and read gzData in place
+	// (Codec.Decompress hands the slice to the decoder directly, where
+	// NewReader on an io.Reader would buffer a copy), so the comparison
+	// measures the decoders, not allocation artifacts.
+	gzStdlib := func() int {
+		r, err := gzip.NewReader(bytes.NewReader(gzData))
+		if err != nil {
+			fatal("stdlib gunzip: %v", err)
+		}
+		out, err := io.ReadAll(r)
+		if err != nil {
+			fatal("stdlib gunzip: %v", err)
+		}
+		return len(out)
+	}
+	gzOurs := func(workers int) int {
+		c, err := gompresso.New(gompresso.WithFormat(gompresso.FormatGzip), gompresso.WithWorkers(workers))
+		if err != nil {
+			fatal("gzip codec: %v", err)
+		}
+		out, _, err := c.Decompress(gzData)
+		if err != nil {
+			fatal("gzip decompress: %v", err)
+		}
+		return len(out)
+	}
+	{
+		c, err := gompresso.New(gompresso.WithFormat(gompresso.FormatGzip), gompresso.WithWorkers(2))
+		if err != nil {
+			fatal("gzip codec: %v", err)
+		}
+		out, _, err := c.Decompress(gzData)
+		if err != nil || !bytes.Equal(out, wiki) {
+			fatal("gzip decode differs from stdlib (%v)", err)
+		}
+	}
+	rep.Benchmarks = append(rep.Benchmarks,
+		host("GzipStdlib", gzStdlib),
+		host("Gzip_Bit_W1", func() int { return gzOurs(1) }),
+		host("Gzip_Bit_W2", func() int { return gzOurs(2) }),
+		host("Gzip_Bit_WMAX", func() int { return gzOurs(runtime.GOMAXPROCS(0)) }),
+	)
 
 	rep.HostFastPath.SeedBaselineMBps = seedHostBitMBps
 	rep.HostFastPath.ReferenceMBps = ref.HostGBps * 1000

@@ -1,5 +1,6 @@
 // Command gompresso compresses and decompresses files in the Gompresso
-// format (paper Fig. 3).
+// format (paper Fig. 3), and decompresses foreign gzip/zlib streams
+// through the parallel two-pass deflate pipeline.
 //
 // Usage:
 //
@@ -11,6 +12,10 @@
 //
 // compress streams its input through the parallel gompresso.Writer, so
 // arbitrarily large inputs (including pipes) compress in bounded memory.
+// decompress and cat sniff their input: Gompresso containers take the
+// native block-parallel path, .gz/.zz files the deflate pipeline
+// (`gompresso cat file.gz` is a parallel `gzip -dc`; -offset/-length
+// require the native container's index).
 package main
 
 import (
@@ -207,6 +212,7 @@ func compressCmd(args []string) error {
 func decompressCmd(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	opts := decompressFlags(fs)
+	workers := fs.Int("workers", 0, "concurrent decodes for foreign formats (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("decompress needs <in> <out>")
@@ -214,6 +220,26 @@ func decompressCmd(args []string) error {
 	comp, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	// Foreign inputs (gzip/zlib, sniffed by magic) decode through the
+	// codec's parallel host pipeline; only native containers reach the
+	// engine/strategy machinery below. Routing is by magic bytes, not by
+	// parse success, so a corrupt native container still surfaces its own
+	// error under the flags the user selected.
+	if gompresso.DetectFormat(comp) != gompresso.FormatGompresso {
+		c, err := gompresso.New(gompresso.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
+		out, stats, err := c.Decompress(comp)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(fs.Arg(1), out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%d bytes  host %.3f ms\n", stats.RawSize, stats.HostSeconds*1e3)
+		return nil
 	}
 	o, err := opts()
 	if err != nil {

@@ -1,0 +1,43 @@
+// Command mkcorpus (re)generates the DEFLATE conformance corpus under
+// testdata/deflate. The files are checked in; the conformance tests
+// regenerate them in-process and fail if the checked-in bytes drift, so
+// running this command is only needed when the corpus itself changes.
+//
+//	go run ./cmd/mkcorpus [-out testdata/deflate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gompresso/internal/deflate/corpus"
+)
+
+func main() {
+	out := flag.String("out", "testdata/deflate", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	files := corpus.Files()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, files[name], 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8d  %s\n", len(files[name]), path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkcorpus:", err)
+	os.Exit(1)
+}

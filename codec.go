@@ -2,10 +2,17 @@ package gompresso
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
 
 	"gompresso/internal/core"
 )
+
+// errForeignReaderAt rejects random access over foreign formats: DEFLATE
+// streams have no block index, so ReaderAt's concurrent range serving is
+// native-container-only.
+var errForeignReaderAt = errors.New("gompresso: random access requires the native container format")
 
 // ErrInvalidOption reports a configuration value outside its domain (a
 // negative worker count, a block size out of range, an unknown variant).
@@ -30,6 +37,7 @@ type Codec struct {
 	dopt     core.DecompressOptions
 	pipe     core.Pipeline
 	ctx      context.Context
+	form     Format
 	stratSet bool
 }
 
@@ -108,6 +116,14 @@ func WithDevice(d *Device) Option { return func(c *Codec) { c.dopt.Device = d } 
 // benchmarking; output is byte-identical either way).
 func WithHostReference(on bool) Option { return func(c *Codec) { c.dopt.HostReference = on } }
 
+// WithFormat pins the input format Decompress and NewReader expect. The
+// default, FormatAuto, sniffs the magic bytes and accepts the Gompresso
+// container, gzip, and zlib; raw DEFLATE (FormatDeflate) has no magic and
+// requires this option. Unrecognized input fails with an error wrapping
+// ErrUnknownFormat. Compression is unaffected: the codec always produces
+// Gompresso containers.
+func WithFormat(f Format) Option { return func(c *Codec) { c.form = f } }
+
 // WithContext attaches a context to every operation the codec performs.
 // Cancelling it makes in-flight calls fail with ctx.Err() and drains the
 // streaming pipelines' workers without leaking goroutines.
@@ -132,6 +148,9 @@ func New(opts ...Option) (*Codec, error) {
 	}
 	if c.ctx == nil {
 		c.ctx = context.Background()
+	}
+	if c.form < FormatAuto || c.form > FormatDeflate {
+		return nil, fmt.Errorf("gompresso: %w: unknown format %d", ErrInvalidOption, int(c.form))
 	}
 	var err error
 	if c.copt, err = c.copt.Normalize(); err != nil {
@@ -159,9 +178,24 @@ func (c *Codec) Compress(src []byte) ([]byte, *CompressStats, error) {
 	return core.CompressContext(c.ctx, src, c.copt)
 }
 
-// Decompress expands a Gompresso container. With the device engine and no
-// pinned strategy it picks DE for DE-parsed streams and MRR otherwise.
+// Decompress expands a compressed input. The format follows WithFormat:
+// with the default FormatAuto the magic bytes select the Gompresso
+// container, gzip, or zlib (unrecognized input fails with an error
+// wrapping ErrUnknownFormat). Foreign formats decode on the host through
+// internal/deflate's parallel two-pass pipeline at the codec's worker
+// budget; containers use the configured engine, and with the device engine
+// and no pinned strategy the codec picks DE for DE-parsed streams and MRR
+// otherwise.
 func (c *Codec) Decompress(data []byte) ([]byte, *DecompressStats, error) {
+	form := c.form
+	if form == FormatAuto {
+		if form = sniffFormat(data); form == FormatAuto {
+			return nil, nil, unknownFormat(data)
+		}
+	}
+	if form != FormatGompresso {
+		return decompressForeign(data, form, c)
+	}
 	o := c.dopt
 	if o.Engine == EngineDevice && !c.stratSet {
 		o.Strategy = MRR
@@ -183,14 +217,22 @@ func (c *Codec) NewWriter(w io.Writer) *Writer {
 	return newWriter(w, c.copt, c.pipe, c.ctx)
 }
 
-// NewReader reads a container header from r and returns a streaming
-// decompressor running on the codec's worker budget and context.
+// NewReader returns a streaming decompressor for r running on the codec's
+// worker budget and context. The input format follows WithFormat (see
+// Decompress); foreign formats stream through the parallel two-pass
+// deflate pipeline, with the whole compressed input buffered in memory (it
+// needs random access for boundary scanning) and Seek unsupported.
 func (c *Codec) NewReader(r io.Reader) (*Reader, error) {
-	return newReader(r, ReaderOptions{Workers: c.pipe.Workers, Readahead: c.pipe.Readahead}, c.ctx)
+	return newReader(r, ReaderOptions{Workers: c.pipe.Workers, Readahead: c.pipe.Readahead}, c.ctx, c.form)
 }
 
 // NewReaderAt opens a container stored in the first size bytes of ra for
 // concurrent positioned reads on the codec's worker budget and context.
+// Random access needs the native container's block index, so foreign
+// formats are rejected up front (pinned via WithFormat or sniffed from
+// the magic bytes) and unrecognized input fails with an error wrapping
+// ErrUnknownFormat — the same classification Decompress and NewReader
+// give.
 func (c *Codec) NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
-	return newReaderAt(ra, size, c.pipe.Workers, c.ctx)
+	return newReaderAt(ra, size, c.pipe.Workers, c.ctx, c.form)
 }

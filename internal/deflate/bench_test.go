@@ -1,0 +1,69 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"sync"
+	"testing"
+
+	"gompresso/internal/datagen"
+)
+
+// Benchmarks comparing this decoder against compress/gzip on the wiki
+// bench corpus. The W1 path must beat the stdlib single-threaded; the
+// parallel path pays speculative-decode overhead (16-bit cells, marker
+// resolution, boundary probing) that only wins with ≥ 2 real cores, so its
+// numbers on a single-CPU machine measure overhead, not speedup.
+
+var (
+	gzBenchOnce sync.Once
+	gzBenchRaw  []byte
+	gzBenchComp []byte
+)
+
+func gzBenchData() ([]byte, []byte) {
+	gzBenchOnce.Do(func() {
+		gzBenchRaw = datagen.WikiXML(8<<20, 1)
+		var buf bytes.Buffer
+		w := gzip.NewWriter(&buf)
+		w.Write(gzBenchRaw)
+		w.Close()
+		gzBenchComp = buf.Bytes()
+	})
+	return gzBenchRaw, gzBenchComp
+}
+
+func BenchmarkGzipStdlib(b *testing.B) {
+	raw, gz := gzBenchData()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := gzip.NewReader(bytes.NewReader(gz))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchOurs(b *testing.B, workers int) {
+	raw, gz := gzBenchData()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReaderBytes(gz, FormatGzip, Options{Workers: workers}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
+
+func BenchmarkGzipW1(b *testing.B) { benchOurs(b, 1) }
+func BenchmarkGzipW4(b *testing.B) { benchOurs(b, 4) }

@@ -1,0 +1,343 @@
+// Package corpus deterministically generates the DEFLATE/gzip conformance
+// corpus checked in under testdata/deflate. Each file targets a structural
+// feature of RFC 1951/1952 that the decoder must handle: stored blocks,
+// fixed-Huffman blocks, dynamic blocks with degenerate single-symbol trees,
+// empty final blocks, Z_SYNC_FLUSH boundaries, multi-member files, and the
+// optional header fields. Files are produced three ways: through
+// compress/gzip (the reference implementation the decoder is held
+// byte-equal to), through compress/flate with hand-assembled gzip framing,
+// and fully hand-crafted at the bit level for shapes the stdlib compressor
+// never emits.
+//
+// cmd/mkcorpus writes these files to disk; the conformance tests regenerate
+// them and assert the checked-in bytes match, so the corpus can neither
+// drift nor become unreproducible. Regenerate with:
+//
+//	go run ./cmd/mkcorpus
+package corpus
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"gompresso/internal/bitio"
+	"gompresso/internal/datagen"
+	"gompresso/internal/huffman"
+)
+
+// Files returns the corpus: file name → gzip bytes. Deterministic for a
+// fixed Go toolchain version (stdlib-compressed entries depend on the
+// stdlib encoder; the pinned CI toolchain keeps them stable).
+func Files() map[string][]byte {
+	return map[string][]byte{
+		"stored.gz":             storedFile(),
+		"fixed.gz":              fixedFile(),
+		"dynamic-degenerate.gz": degenerateFile(),
+		"empty.gz":              stdGzip(nil, gzip.BestCompression),
+		"empty-final.gz":        emptyFinalFile(),
+		"multimember.gz":        multiMemberFile(),
+		"syncflush.gz":          syncFlushFile(),
+		"headers.gz":            headersFile(),
+		"hcrc.gz":               hcrcFile(),
+		"window.gz":             stdGzip(datagen.WikiXML(160<<10, 42), gzip.BestCompression),
+	}
+}
+
+// stdGzip compresses raw with compress/gzip at the given level.
+func stdGzip(raw []byte, level int) []byte {
+	var buf bytes.Buffer
+	w, err := gzip.NewWriterLevel(&buf, level)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := w.Write(raw); err != nil {
+		panic(err)
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// gzipWrap frames a raw deflate stream as a single gzip member carrying
+// raw's checksum and size.
+func gzipWrap(deflated, raw []byte) []byte {
+	out := []byte{0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255}
+	out = append(out, deflated...)
+	out = le32(out, crc32.ChecksumIEEE(raw))
+	return le32(out, uint32(len(raw)))
+}
+
+func le32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// storedFile: incompressible data, so the stdlib encoder emits stored
+// blocks only.
+func storedFile() []byte {
+	return stdGzip(datagen.Random(12<<10, 7), gzip.NoCompression)
+}
+
+// multiMemberFile: three concatenated members, including an empty one —
+// the shape produced by `cat a.gz b.gz c.gz`.
+func multiMemberFile() []byte {
+	a := stdGzip(datagen.WikiXML(24<<10, 3), gzip.BestCompression)
+	b := stdGzip(nil, gzip.BestSpeed)
+	c := stdGzip(datagen.RepeatPhrase(8<<10, "the deflate format is everywhere "), gzip.BestSpeed)
+	return append(append(a, b...), c...)
+}
+
+// syncFlushFile: Flush between writes inserts Z_SYNC_FLUSH-style empty
+// stored blocks mid-stream.
+func syncFlushFile() []byte {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(w, "segment %d: %s\n", i, datagen.RepeatPhrase(900, "flush boundary "))
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// headersFile: the optional FEXTRA, FNAME, and FCOMMENT header fields.
+func headersFile() []byte {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	w.Name = "conformance.txt"
+	w.Comment = "gompresso deflate conformance corpus"
+	w.Extra = []byte{'g', 'z', 4, 0, 0xde, 0xfa, 0x7e, 0x00}
+	w.Write([]byte("header fields exercised\n"))
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// hcrcFile hand-assembles a member with the FHCRC header checksum, which
+// compress/gzip verifies on read but never writes.
+func hcrcFile() []byte {
+	raw := []byte("the header CRC guards the member header\n")
+	var db bytes.Buffer
+	fw, _ := flate.NewWriter(&db, flate.BestCompression)
+	fw.Write(raw)
+	fw.Close()
+	hdr := []byte{0x1f, 0x8b, 8, 0x02, 0, 0, 0, 0, 0, 255}
+	sum := crc32.ChecksumIEEE(hdr) & 0xffff
+	out := append(hdr, byte(sum), byte(sum>>8))
+	out = append(out, db.Bytes()...)
+	out = le32(out, crc32.ChecksumIEEE(raw))
+	return le32(out, uint32(len(raw)))
+}
+
+// fixedLens is the fixed-Huffman litlen code (RFC 1951 §3.2.6).
+func fixedLens() ([]uint8, []uint8) {
+	lit := make([]uint8, 288)
+	for i := range lit {
+		switch {
+		case i < 144:
+			lit[i] = 8
+		case i < 256:
+			lit[i] = 9
+		case i < 280:
+			lit[i] = 7
+		default:
+			lit[i] = 8
+		}
+	}
+	dist := make([]uint8, 32)
+	for i := range dist {
+		dist[i] = 5
+	}
+	return lit, dist
+}
+
+// lengthSym maps a match length to its litlen symbol, base, and extra-bit
+// count; distSym does the same for distances.
+var lengthBase = []int{3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+	35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258}
+var lengthExtra = []int{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+	3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0}
+var distBase = []int{1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+	257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577}
+var distExtra = []int{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+	7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13}
+
+func symFor(v int, base []int) int {
+	i := sort.SearchInts(base, v+1) - 1
+	if i < 0 || (i+1 < len(base) && base[i+1] <= v) {
+		// SearchInts already guarantees base[i] ≤ v < base[i+1].
+		panic("corpus: bad symbol lookup")
+	}
+	return i
+}
+
+// emit writes one Huffman-coded symbol (pre-reversed canonical code).
+func emit(w *bitio.Writer, codes []huffman.Code, sym int) {
+	c := codes[sym]
+	if c.Len == 0 {
+		panic(fmt.Sprintf("corpus: symbol %d has no code", sym))
+	}
+	w.WriteBits(uint64(c.Bits), uint(c.Len))
+}
+
+// fixedFile hand-crafts a fixed-Huffman block — literals, an overlapping
+// match, and a long match — which the stdlib encoder emits only under rare
+// size conditions.
+func fixedFile() []byte {
+	litLens, distLens := fixedLens()
+	litCodes, err := huffman.CanonicalCodes(litLens, 9)
+	if err != nil {
+		panic(err)
+	}
+	distCodes, err := huffman.CanonicalCodes(distLens, 5)
+	if err != nil {
+		panic(err)
+	}
+	w := bitio.NewWriter(0)
+	w.WriteBits(1, 1) // BFINAL
+	w.WriteBits(1, 2) // fixed
+	var raw []byte
+	lit := func(s string) {
+		for _, b := range []byte(s) {
+			emit(w, litCodes, int(b))
+			raw = append(raw, b)
+		}
+	}
+	match := func(length, dist int) {
+		ls := symFor(length, lengthBase)
+		emit(w, litCodes, 257+ls)
+		w.WriteBits(uint64(length-lengthBase[ls]), uint(lengthExtra[ls]))
+		ds := symFor(dist, distBase)
+		emit(w, distCodes, ds)
+		w.WriteBits(uint64(dist-distBase[ds]), uint(distExtra[ds]))
+		from := len(raw) - dist
+		for i := 0; i < length; i++ {
+			raw = append(raw, raw[from+i])
+		}
+	}
+	lit("fixed huffman blocks need no tree transmission. ")
+	match(30, 21) // overlapping region follows
+	lit("ha")
+	match(258, 2) // maximum-length match over a 2-byte period
+	lit(" end.")
+	emit(w, litCodes, 256)
+	return gzipWrap(w.Bytes(), raw)
+}
+
+// degenerateFile hand-crafts a dynamic block whose distance tree is a
+// single code of length one — the RFC's "one distance code" degenerate
+// case — and whose litlen tree has exactly four symbols.
+func degenerateFile() []byte {
+	const (
+		matchLen = 96  // litlen symbol 278 (base 83, 4 extra bits)
+		matchSym = 278 // covers lengths 83..98
+		hlit     = matchSym + 1 - 257
+		hdist    = 2 - 1 // distance symbol 1 (distance 2), so two dist lengths
+	)
+	litLens := make([]uint8, matchSym+1)
+	litLens['a'], litLens['b'], litLens[256], litLens[matchSym] = 2, 2, 2, 2
+	distLens := []uint8{0, 1}
+	litCodes, err := huffman.CanonicalCodes(litLens, 2)
+	if err != nil {
+		panic(err)
+	}
+	distCodes, err := huffman.CanonicalCodes(distLens, 1)
+	if err != nil {
+		panic(err)
+	}
+	// Code-length code over {0, 1, 2, 18}, all length 2.
+	var clLens [19]uint8
+	clLens[0], clLens[1], clLens[2], clLens[18] = 2, 2, 2, 2
+	clCodes, err := huffman.CanonicalCodes(clLens[:], 7)
+	if err != nil {
+		panic(err)
+	}
+	clOrder := []int{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+	hclen := 18 // through index 17 of the order, covering symbols 2 and 1
+
+	w := bitio.NewWriter(0)
+	w.WriteBits(1, 1) // BFINAL
+	w.WriteBits(2, 2) // dynamic
+	w.WriteBits(hlit, 5)
+	w.WriteBits(hdist, 5)
+	w.WriteBits(uint64(hclen-4), 4)
+	for i := 0; i < hclen; i++ {
+		w.WriteBits(uint64(clLens[clOrder[i]]), 3)
+	}
+	zeros := func(n int) {
+		for n > 0 {
+			rep := n
+			if rep > 138 {
+				rep = 138
+			}
+			if rep < 11 { // too short for symbol 18: emit literal zeros
+				for i := 0; i < rep; i++ {
+					emit(w, clCodes, 0)
+				}
+			} else {
+				emit(w, clCodes, 18)
+				w.WriteBits(uint64(rep-11), 7)
+			}
+			n -= rep
+		}
+	}
+	// Litlen lengths: zeros to 'a', then a,b, zeros to 256, the end-of-block
+	// code, zeros to the match symbol, the match symbol.
+	zeros('a')
+	emit(w, clCodes, 2)
+	emit(w, clCodes, 2)
+	zeros(256 - 'b' - 1)
+	emit(w, clCodes, 2)
+	zeros(matchSym - 256 - 1)
+	emit(w, clCodes, 2)
+	// Distance lengths.
+	emit(w, clCodes, 0)
+	emit(w, clCodes, 1)
+	// Content: "ab", then a 96-byte copy at distance 2, written with the
+	// tree's single one-bit distance code.
+	emit(w, litCodes, 'a')
+	emit(w, litCodes, 'b')
+	emit(w, litCodes, matchSym)
+	w.WriteBits(matchLen-83, 4)
+	emit(w, distCodes, 1)
+	emit(w, litCodes, 256)
+
+	raw := []byte("ab")
+	for i := 0; i < matchLen; i++ {
+		raw = append(raw, raw[i])
+	}
+	return gzipWrap(w.Bytes(), raw)
+}
+
+// emptyFinalFile: a non-final fixed block followed by an empty final
+// stored block — the classic "flush then close" stream tail.
+func emptyFinalFile() []byte {
+	litLens, _ := fixedLens()
+	litCodes, err := huffman.CanonicalCodes(litLens, 9)
+	if err != nil {
+		panic(err)
+	}
+	raw := []byte("payload before an empty final block")
+	w := bitio.NewWriter(0)
+	w.WriteBits(0, 1) // not final
+	w.WriteBits(1, 2) // fixed
+	for _, b := range raw {
+		emit(w, litCodes, int(b))
+	}
+	emit(w, litCodes, 256)
+	w.WriteBits(1, 1) // final
+	w.WriteBits(0, 2) // stored
+	w.AlignByte()
+	w.WriteBits(0, 16)      // LEN
+	w.WriteBits(0xffff, 16) // NLEN
+	return gzipWrap(w.Bytes(), raw)
+}

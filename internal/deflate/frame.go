@@ -1,0 +1,112 @@
+package deflate
+
+import "hash/crc32"
+
+// gzip (RFC 1952) and zlib (RFC 1950) framing. Header parsing is strict
+// where compress/gzip and compress/zlib are strict (magic, method, FHCRC,
+// preset dictionaries) and lenient where they are lenient (reserved flag
+// bits), since the conformance harness holds the behaviors equal.
+
+const (
+	flagHCRC    = 1 << 1
+	flagExtra   = 1 << 2
+	flagName    = 1 << 3
+	flagComment = 1 << 4
+)
+
+func headerAt(off int64, msg string) error {
+	return &Error{Off: off, Kind: ErrHeader, Msg: msg}
+}
+
+// parseGzipHeader parses the member header at byte offset off and returns
+// the byte offset of the member's deflate stream.
+func parseGzipHeader(data []byte, off int64) (int64, error) {
+	n := int64(len(data))
+	if off+10 > n {
+		return 0, truncatedAt(n, "gzip header past end of input")
+	}
+	if data[off] != 0x1f || data[off+1] != 0x8b {
+		return 0, headerAt(off, "bad gzip magic")
+	}
+	if data[off+2] != 8 {
+		return 0, headerAt(off+2, "unknown gzip compression method")
+	}
+	flg := data[off+3]
+	p := off + 10
+	if flg&flagExtra != 0 {
+		if p+2 > n {
+			return 0, truncatedAt(n, "gzip FEXTRA past end of input")
+		}
+		xlen := int64(data[p]) | int64(data[p+1])<<8
+		p += 2 + xlen
+		if p > n {
+			return 0, truncatedAt(n, "gzip FEXTRA past end of input")
+		}
+	}
+	for _, f := range []byte{flagName, flagComment} {
+		if flg&f == 0 {
+			continue
+		}
+		for {
+			if p >= n {
+				return 0, truncatedAt(n, "gzip header string past end of input")
+			}
+			p++
+			if data[p-1] == 0 {
+				break
+			}
+		}
+	}
+	if flg&flagHCRC != 0 {
+		if p+2 > n {
+			return 0, truncatedAt(n, "gzip FHCRC past end of input")
+		}
+		want := uint32(data[p]) | uint32(data[p+1])<<8
+		got := crc32.ChecksumIEEE(data[off:p]) & 0xffff
+		if got != want {
+			return 0, headerAt(p, "gzip header CRC mismatch")
+		}
+		p += 2
+	}
+	return p, nil
+}
+
+// parseZlibHeader parses the 2-byte zlib header at offset 0 and returns the
+// deflate stream's byte offset.
+func parseZlibHeader(data []byte) (int64, error) {
+	if len(data) < 2 {
+		return 0, truncatedAt(int64(len(data)), "zlib header past end of input")
+	}
+	cmf, flg := data[0], data[1]
+	if cmf&0x0f != 8 || cmf>>4 > 7 {
+		return 0, headerAt(0, "unknown zlib compression method or window")
+	}
+	if (uint16(cmf)<<8|uint16(flg))%31 != 0 {
+		return 0, headerAt(1, "zlib header check failed")
+	}
+	if flg&0x20 != 0 {
+		return 0, &Error{Off: 1, Kind: ErrDictionary, Msg: "zlib FDICT set"}
+	}
+	return 2, nil
+}
+
+const adlerMod = 65521
+
+// adlerUpdate extends a running Adler-32 (initial value 1) over p.
+func adlerUpdate(s uint32, p []byte) uint32 {
+	s1, s2 := s&0xffff, s>>16
+	for len(p) > 0 {
+		n := len(p)
+		if n > 5552 { // the largest batch that cannot overflow uint32
+			n = 5552
+		}
+		for _, b := range p[:n] {
+			s1 += uint32(b)
+			s2 += s1
+		}
+		s1 %= adlerMod
+		s2 %= adlerMod
+		p = p[n:]
+	}
+	return s2<<16 | s1
+}

@@ -1,0 +1,105 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"gompresso/internal/datagen"
+)
+
+// noLeaks asserts the goroutine count returns to its baseline after fn —
+// the scanner and every in-flight chunk decode must wind down whether the
+// stream completed, failed mid-pipeline, or was abandoned.
+func noLeaks(t *testing.T, fn func()) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func gzipped(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	w.Write(raw)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A worker hitting a corrupt chunk mid-pipeline must not strand the
+// scanner or any chunk decode.
+func TestNoLeakOnCorruptChunk(t *testing.T) {
+	data := gzipped(t, datagen.WikiXML(512<<10, 23))
+	mut := append([]byte(nil), data...)
+	mut[len(mut)/3] ^= 0xff
+	noLeaks(t, func() {
+		for i := 0; i < 5; i++ {
+			r, err := NewReaderBytes(mut, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, r); err == nil {
+				t.Fatal("corrupt stream decoded without error")
+			}
+			r.Close()
+		}
+	})
+}
+
+// Closing a parallel Reader mid-stream stops the scanner and releases
+// every in-flight chunk without waiting for the consumer to drain.
+func TestNoLeakOnEarlyClose(t *testing.T) {
+	data := gzipped(t, datagen.WikiXML(512<<10, 29))
+	noLeaks(t, func() {
+		for i := 0; i < 5; i++ {
+			r, err := NewReaderBytes(data, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 100)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				t.Fatal(err)
+			}
+			r.Close()
+		}
+	})
+}
+
+// Context cancellation surfaces as the context's error and winds the
+// pipeline down.
+func TestContextCancel(t *testing.T) {
+	data := gzipped(t, datagen.WikiXML(512<<10, 31))
+	noLeaks(t, func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		r, err := NewReaderBytes(data, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize}, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 100)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		if _, err := io.Copy(io.Discard, r); err != context.Canceled {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+		r.Close()
+	})
+}

@@ -38,6 +38,10 @@ func (v Variant) String() string {
 
 var magic = [4]byte{'G', 'P', 'Z', '1'}
 
+// Magic returns the container's four magic bytes, for callers that sniff
+// container formats without parsing a full header.
+func Magic() [4]byte { return magic }
+
 // ErrFormat reports a malformed container.
 var ErrFormat = errors.New("format: invalid Gompresso file")
 

@@ -33,13 +33,28 @@ type ReaderAt struct {
 // of ra for random access. Codec.NewReaderAt is the same, bound to a
 // codec's worker budget and context.
 func NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
-	return newReaderAt(ra, size, 0, context.Background())
+	return newReaderAt(ra, size, 0, context.Background(), FormatAuto)
 }
 
-func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context) (*ReaderAt, error) {
+func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context, form Format) (*ReaderAt, error) {
 	head := make([]byte, format.HeaderSize)
-	if _, err := ra.ReadAt(head, 0); err != nil {
+	n, err := ra.ReadAt(head, 0)
+	if err != nil && err != io.EOF {
 		return nil, fmt.Errorf("gompresso: reading header: %w", err)
+	}
+	head = head[:n]
+	// Classify before parsing, so foreign and unrecognized inputs get the
+	// same typed errors here as from Decompress/NewReader: random access
+	// needs the native container's block structure. A format pinned to
+	// FormatGompresso skips the sniff (mismatched input surfaces as a
+	// native parse error, as in NewReader).
+	if form == FormatAuto {
+		if form = sniffFormat(head); form == FormatAuto {
+			return nil, unknownFormat(head)
+		}
+	}
+	if form != FormatGompresso {
+		return nil, errForeignReaderAt
 	}
 	hdr, err := format.ParseHeader(head)
 	if err != nil {

@@ -1,6 +1,7 @@
 package gompresso
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"gompresso/internal/core"
+	"gompresso/internal/deflate"
 	"gompresso/internal/format"
 	"gompresso/internal/parallel"
 )
@@ -48,6 +50,11 @@ type Reader struct {
 	// Pipelined mode:
 	pl *pipe
 
+	// Foreign-format mode (gzip/zlib/raw deflate): all reads delegate to
+	// the two-pass parallel deflate pipeline; Seek is unsupported and
+	// Header reports a synthetic header (32 KiB window, sizes unknown).
+	fr *deflate.Reader
+
 	buf    []byte // decompressed current block
 	off    int    // bytes of buf already returned
 	pos    int64  // logical stream offset of the next byte to serve
@@ -71,16 +78,20 @@ type ReaderOptions struct {
 	Readahead int
 }
 
-// NewReader reads the container header from r and returns a streaming
-// decompressor for its blocks with default options.
+// NewReader returns a streaming decompressor for r with default options.
+// The input format is sniffed from the magic bytes: Gompresso containers
+// stream block-parallel as before, and gzip/zlib streams decode through
+// the parallel two-pass deflate pipeline (buffering the compressed input
+// in memory; Seek unsupported). Unrecognized input fails with an error
+// wrapping ErrUnknownFormat.
 func NewReader(r io.Reader) (*Reader, error) { return NewReaderWith(r, ReaderOptions{}) }
 
 // NewReaderWith is NewReader with explicit pipeline options.
 func NewReaderWith(r io.Reader, opt ReaderOptions) (*Reader, error) {
-	return newReader(r, opt, context.Background())
+	return newReader(r, opt, context.Background(), FormatAuto)
 }
 
-func newReader(r io.Reader, opt ReaderOptions, ctx context.Context) (*Reader, error) {
+func newReader(r io.Reader, opt ReaderOptions, ctx context.Context, form Format) (*Reader, error) {
 	pl, err := core.Pipeline{Workers: opt.Workers, Readahead: opt.Readahead}.Normalize()
 	if err != nil {
 		return nil, err
@@ -92,11 +103,56 @@ func newReader(r io.Reader, opt ReaderOptions, ctx context.Context) (*Reader, er
 			base = p
 		}
 	}
-	br, err := format.NewBlockReader(r)
+	// Sniff the magic bytes before trusting any parser with the stream:
+	// Gompresso containers take the native block pipeline below, foreign
+	// formats take the two-pass deflate pipeline, and unrecognized input
+	// fails with a typed ErrUnknownFormat instead of a parse error.
+	head := make([]byte, 4)
+	n, rerr := io.ReadFull(r, head)
+	head = head[:n]
+	if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
+		return nil, rerr
+	}
+	if form == FormatAuto {
+		if form = sniffFormat(head); form == FormatAuto {
+			return nil, unknownFormat(head)
+		}
+	}
+	if form != FormatGompresso {
+		// Buffer the compressed stream once, seeded with the sniffed bytes
+		// (append(head, ...) would copy the whole input a second time).
+		var buf bytes.Buffer
+		buf.Write(head)
+		if _, err := buf.ReadFrom(r); err != nil {
+			return nil, err
+		}
+		data := buf.Bytes()
+		fr, err := deflate.NewReaderBytes(data, foreignForm(form), deflate.Options{
+			Workers: opt.Workers, Readahead: opt.Readahead,
+		}, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Reader{src: r, base: -1, opt: opt, ctx: ctx, fr: fr,
+			hdr: format.FileHeader{Window: 32768}}, nil
+	}
+	// Native container: rewind seekable sources so the block reader owns
+	// the stream from the start (preserving Seek); splice the sniffed
+	// bytes back in front of pipes.
+	src := r
+	if s, ok := r.(io.Seeker); ok && base >= 0 {
+		if _, err := s.Seek(base, io.SeekStart); err != nil {
+			return nil, err
+		}
+	} else {
+		src = io.MultiReader(bytes.NewReader(head), r)
+		base = -1
+	}
+	br, err := format.NewBlockReader(src)
 	if err != nil {
 		return nil, err
 	}
-	rd := &Reader{src: r, base: base, hdr: br.Header(), opt: opt, ctx: ctx}
+	rd := &Reader{src: src, base: base, hdr: br.Header(), opt: opt, ctx: ctx}
 	rd.start(br, 0)
 	return rd, nil
 }
@@ -202,6 +258,11 @@ func (r *Reader) advanceSync() {
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
+	if r.fr != nil {
+		n, err := r.fr.Read(p)
+		r.pos += int64(n)
+		return n, err
+	}
 	if len(p) == 0 {
 		// Zero-length reads must not trigger block decodes or pipeline
 		// stalls; io.Reader allows 0, nil for len(p) == 0.
@@ -221,6 +282,11 @@ func (r *Reader) Read(p []byte) (int, error) {
 
 // WriteTo implements io.WriterTo, streaming whole decompressed blocks to w.
 func (r *Reader) WriteTo(w io.Writer) (int64, error) {
+	if r.fr != nil {
+		n, err := r.fr.WriteTo(w)
+		r.pos += n
+		return n, err
+	}
 	var total int64
 	for {
 		if r.off < len(r.buf) {
@@ -243,8 +309,9 @@ func (r *Reader) WriteTo(w io.Writer) (int64, error) {
 }
 
 var (
-	errClosed    = errors.New("gompresso: reader closed")
-	errNotSeeker = errors.New("gompresso: underlying reader does not support seeking")
+	errClosed      = errors.New("gompresso: reader closed")
+	errNotSeeker   = errors.New("gompresso: underlying reader does not support seeking")
+	errForeignSeek = errors.New("gompresso: seeking is not supported for foreign formats")
 )
 
 // Seek implements io.Seeker over the decompressed stream. It requires the
@@ -256,6 +323,9 @@ var (
 func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 	if r.closed {
 		return 0, errClosed
+	}
+	if r.fr != nil {
+		return 0, errForeignSeek
 	}
 	rs, ok := r.src.(io.ReadSeeker)
 	if !ok || r.base < 0 {
@@ -384,6 +454,10 @@ func (r *Reader) Close() error {
 		return nil
 	}
 	r.closed = true
+	if r.fr != nil {
+		r.fr.Close()
+		r.fr = nil
+	}
 	if r.pl != nil {
 		r.pl.shutdown()
 		r.pl = nil
