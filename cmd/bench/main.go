@@ -2,7 +2,7 @@
 // in-process and writes a machine-readable BENCH_<n>.json so the performance
 // trajectory is tracked from PR to PR (see EXPERIMENTS.md).
 //
-//	go run ./cmd/bench                 # full run, writes BENCH_4.json
+//	go run ./cmd/bench                 # full run, writes BENCH_5.json
 //	go run ./cmd/bench -short          # CI smoke: small corpus, 1 iteration
 //	go run ./cmd/bench -o results.json # custom output path
 //
@@ -17,12 +17,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"gompresso"
 	"gompresso/internal/datagen"
+	"gompresso/internal/server"
 )
 
 // seedHostBitMBps is the pre-optimization BenchmarkHostEngine_Bit
@@ -36,6 +40,7 @@ type result struct {
 	Name     string  `json:"name"`
 	SimGBps  float64 `json:"sim_gbps,omitempty"`
 	HostGBps float64 `json:"host_gbps"`
+	HitRate  float64 `json:"hit_rate,omitempty"` // ServeRange rows: decoded-block cache hit rate
 }
 
 type report struct {
@@ -56,7 +61,7 @@ type report struct {
 func main() {
 	size := flag.Int("size", 8<<20, "corpus size in bytes")
 	iters := flag.Int("iters", 3, "timed iterations per benchmark (best is reported)")
-	out := flag.String("o", "BENCH_4.json", "output JSON path")
+	out := flag.String("o", "BENCH_5.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 MB corpus, 1 iteration")
 	flag.Parse()
 	if *short {
@@ -276,6 +281,97 @@ func main() {
 		host("Gzip_Bit_WMAX", func() int { return gzOurs(runtime.GOMAXPROCS(0)) }),
 	)
 
+	// Serving layer: range GETs against an in-process `serve` daemon over
+	// an indexed container. Cold builds a fresh server (empty cache) per
+	// iteration and sweeps the whole object in 1 MiB ranges — every block
+	// decodes once, through cache misses. Hot re-requests one range from
+	// a warmed server, so blocks come from the decoded-block cache; its
+	// row also records the cache hit rate. Single-run, like everything in
+	// this file — never concurrently with tests on a small runner.
+	serveDir, err := os.MkdirTemp("", "gompresso-bench-serve")
+	if err != nil {
+		fatal("serve dir: %v", err)
+	}
+	defer os.RemoveAll(serveDir)
+	idxComp, _, err := gompresso.Compress(wiki, gompresso.Options{
+		Variant: gompresso.VariantBit, DE: gompresso.DEStrict, Index: true,
+	})
+	if err != nil {
+		fatal("serve compress: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(serveDir, "corpus.gpz"), idxComp, 0o644); err != nil {
+		fatal("serve fixture: %v", err)
+	}
+	newServer := func() (*server.Server, *httptest.Server) {
+		s, err := server.New(server.Options{Root: serveDir, CacheBytes: 256 << 20, Logf: nil})
+		if err != nil {
+			fatal("server: %v", err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		return s, ts
+	}
+	rangeGet := func(base string, off, n int) int {
+		req, err := http.NewRequest(http.MethodGet, base+"/corpus.gpz", nil)
+		if err != nil {
+			fatal("serve request: %v", err)
+		}
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+n-1))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal("serve get: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusPartialContent {
+			fatal("serve get: status %d", resp.StatusCode)
+		}
+		got, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fatal("serve body: %v", err)
+		}
+		return len(got)
+	}
+	const rangeLen = 1 << 20
+	{ // byte-identity cross-check before timing anything
+		_, ts := newServer()
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/corpus.gpz", nil)
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", 12345, 12345+rangeLen-1))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal("serve check: %v", err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ts.Close()
+		if !bytes.Equal(got, wiki[12345:12345+rangeLen]) {
+			fatal("served range differs from corpus")
+		}
+	}
+	cold := host("ServeRange_Cold", func() int {
+		_, ts := newServer()
+		defer ts.Close()
+		total := 0
+		for off := 0; off < len(wiki); off += rangeLen {
+			n := rangeLen
+			if off+n > len(wiki) {
+				n = len(wiki) - off
+			}
+			total += rangeGet(ts.URL, off, n)
+		}
+		return total
+	})
+	hotSrv, hotTS := newServer()
+	rangeGet(hotTS.URL, 0, rangeLen) // warm the cache
+	hot := host("ServeRange_Hot", func() int {
+		total := 0
+		for i := 0; i < 8; i++ {
+			total += rangeGet(hotTS.URL, 0, rangeLen)
+		}
+		return total
+	})
+	hot.HitRate = hotSrv.Codec().CacheStats().HitRate()
+	hotTS.Close()
+	rep.Benchmarks = append(rep.Benchmarks, cold, hot)
+
 	rep.HostFastPath.SeedBaselineMBps = seedHostBitMBps
 	rep.HostFastPath.ReferenceMBps = ref.HostGBps * 1000
 	rep.HostFastPath.OptimizedMBps = fast.HostGBps * 1000
@@ -291,9 +387,12 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	for _, r := range rep.Benchmarks {
-		if r.SimGBps > 0 {
+		switch {
+		case r.SimGBps > 0:
 			fmt.Printf("  %-28s %8.2f sim-GB/s  %6.3f host-GB/s\n", r.Name, r.SimGBps, r.HostGBps)
-		} else {
+		case r.HitRate > 0:
+			fmt.Printf("  %-28s %28.3f host-GB/s  hit rate %.3f\n", r.Name, r.HostGBps, r.HitRate)
+		default:
 			fmt.Printf("  %-28s %28.3f host-GB/s\n", r.Name, r.HostGBps)
 		}
 	}

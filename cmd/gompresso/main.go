@@ -8,7 +8,9 @@
 //	gompresso decompress [flags] <in> <out>
 //	gompresso cat        [flags] <in>     (stream a range to stdout)
 //	gompresso info       <in>
+//	gompresso stat       [-json] <in>     (container metadata, no decode)
 //	gompresso verify     [flags] <in>     (compress+decompress in memory)
+//	gompresso serve      [flags]          (HTTP range server over -root)
 //
 // compress streams its input through the parallel gompresso.Writer, so
 // arbitrarily large inputs (including pipes) compress in bounded memory.
@@ -43,8 +45,12 @@ func main() {
 		err = catCmd(args)
 	case "info":
 		err = infoCmd(args)
+	case "stat":
+		err = statCmd(args)
 	case "verify":
 		err = verifyCmd(args)
+	case "serve":
+		err = serveCmd(args)
 	default:
 		usage()
 	}
@@ -55,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|cat|info|verify} [flags] <in> [out]")
+	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|cat|info|stat|verify|serve} [flags] <in> [out]")
 	os.Exit(2)
 }
 

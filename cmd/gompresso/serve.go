@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gompresso/internal/server"
+)
+
+// serveCmd runs the HTTP object-serving daemon: every file under -root
+// is exposed at its path with Range/If-Range/HEAD semantics over the
+// decompressed stream, hot blocks shared through the decoded-block
+// cache, and /healthz + /metrics for operations. See internal/server.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	root := fs.String("root", ".", "directory of objects to serve")
+	cacheMB := fs.Int64("cache", 64, "decoded-block cache budget in MiB (0 disables)")
+	workers := fs.Int("workers", 0, "decode worker budget shared by all requests (0 = GOMAXPROCS)")
+	readahead := fs.Int("readahead", 0, "pipeline readahead in blocks (0 = 2x workers)")
+	maxInFlight := fs.Int("max-inflight", 0, "max requests decoding concurrently (0 = 4x GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes flags only")
+	}
+	logger := log.New(os.Stderr, "gompresso-serve ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	s, err := server.New(server.Options{
+		Root:        *root,
+		CacheBytes:  *cacheMB << 20,
+		Workers:     *workers,
+		Readahead:   *readahead,
+		MaxInFlight: *maxInFlight,
+		Logf:        logf,
+	})
+	if err != nil {
+		return err
+	}
+	// Listen explicitly (rather than ListenAndServe) so "listening on"
+	// is printed only once the port is actually bound — the smoke test's
+	// readiness signal.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	logger.Printf("listening on http://%s root=%s cache=%dMiB", ln.Addr(), *root, *cacheMB)
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, give
+	// in-flight responses a grace period, then cut them off.
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Printf("%v: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

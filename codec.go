@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"gompresso/internal/blockcache"
 	"gompresso/internal/core"
 )
 
@@ -39,6 +40,9 @@ type Codec struct {
 	ctx      context.Context
 	form     Format
 	stratSet bool
+
+	cacheBytes int64
+	cache      *blockcache.Cache // nil unless WithCache(n>0)
 }
 
 // Option configures a Codec being built by New.
@@ -124,6 +128,21 @@ func WithHostReference(on bool) Option { return func(c *Codec) { c.dopt.HostRefe
 // Gompresso containers.
 func WithFormat(f Format) Option { return func(c *Codec) { c.form = f } }
 
+// WithCache attaches a shared decoded-block cache of the given size in
+// bytes to the codec. Every ReaderAt the codec creates serves hits from
+// it: a block decoded for one request is handed to concurrent and later
+// requests without re-decoding (concurrent decodes of the same block
+// coalesce into one), with eviction by LRU when resident decoded bytes
+// exceed the budget. The cache is sharded for concurrency (up to 16
+// ways, fewer for small budgets so a shard always fits at least one
+// block); a block larger than its shard's budget is served but not
+// retained, so size the cache at a multiple of the block size. 0 (the
+// default) disables caching — reads then take exactly the uncached
+// decode path — and negative sizes are rejected with ErrInvalidOption. Sequential Readers and one-shot Decompress are
+// unaffected: the cache exists for the random-access serving path,
+// where ranges revisit blocks.
+func WithCache(bytes int64) Option { return func(c *Codec) { c.cacheBytes = bytes } }
+
 // WithContext attaches a context to every operation the codec performs.
 // Cancelling it makes in-flight calls fail with ctx.Err() and drains the
 // streaming pipelines' workers without leaking goroutines.
@@ -162,7 +181,56 @@ func New(opts ...Option) (*Codec, error) {
 	if c.pipe, err = c.pipe.Normalize(); err != nil {
 		return nil, err
 	}
+	if c.cacheBytes < 0 {
+		return nil, fmt.Errorf("gompresso: %w: negative cache size %d", ErrInvalidOption, c.cacheBytes)
+	}
+	if c.cacheBytes > 0 {
+		c.cache = blockcache.New(c.cacheBytes)
+	}
 	return c, nil
+}
+
+// CacheStats reports the decoded-block cache's effectiveness counters —
+// the raw material for a server's metrics endpoint. It mirrors the
+// cache's snapshot; Enabled is false (and everything else zero) for a
+// codec built without WithCache.
+type CacheStats struct {
+	Enabled   bool
+	Hits      int64 // requests served from a resident block
+	Misses    int64 // requests that ran or joined a decode
+	Coalesced int64 // misses that joined another request's in-flight decode
+	Evictions int64 // blocks dropped to fit the byte budget
+	Entries   int64 // resident blocks now
+	Bytes     int64 // resident decoded bytes now
+	MaxBytes  int64 // configured budget
+	InFlight  int64 // block decodes running now
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any traffic.
+func (s CacheStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// CacheStats snapshots the codec's decoded-block cache counters.
+func (c *Codec) CacheStats() CacheStats {
+	if c.cache == nil {
+		return CacheStats{}
+	}
+	s := c.cache.Stats()
+	return CacheStats{
+		Enabled:   true,
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Coalesced: s.Coalesced,
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+		MaxBytes:  s.MaxBytes,
+		InFlight:  s.InFlight,
+	}
 }
 
 // Options returns the codec's resolved compression options — defaults
@@ -223,7 +291,18 @@ func (c *Codec) NewWriter(w io.Writer) *Writer {
 // deflate pipeline, with the whole compressed input buffered in memory (it
 // needs random access for boundary scanning) and Seek unsupported.
 func (c *Codec) NewReader(r io.Reader) (*Reader, error) {
-	return newReader(r, ReaderOptions{Workers: c.pipe.Workers, Readahead: c.pipe.Readahead}, c.ctx, c.form)
+	return c.NewReaderContext(c.ctx, r)
+}
+
+// NewReaderContext is NewReader under an explicit context, overriding
+// the codec's own for this one stream — the shape a server needs, where
+// cancellation is per request while the codec (worker budget, cache) is
+// shared by all of them. A nil ctx selects the codec's context.
+func (c *Codec) NewReaderContext(ctx context.Context, r io.Reader) (*Reader, error) {
+	if ctx == nil {
+		ctx = c.ctx
+	}
+	return newReader(r, ReaderOptions{Workers: c.pipe.Workers, Readahead: c.pipe.Readahead}, ctx, c.form)
 }
 
 // NewReaderAt opens a container stored in the first size bytes of ra for
@@ -233,6 +312,8 @@ func (c *Codec) NewReader(r io.Reader) (*Reader, error) {
 // the magic bytes) and unrecognized input fails with an error wrapping
 // ErrUnknownFormat — the same classification Decompress and NewReader
 // give.
+// With WithCache, every ReaderAt from this codec shares the codec's
+// decoded-block cache (each under its own object identity).
 func (c *Codec) NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
-	return newReaderAt(ra, size, c.pipe.Workers, c.ctx, c.form)
+	return newReaderAt(ra, size, c.pipe.Workers, c.ctx, c.form, c.cache)
 }

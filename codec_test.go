@@ -43,6 +43,7 @@ func TestInvalidOptionsRejected(t *testing.T) {
 		{gompresso.WithVariant(gompresso.Variant(9))},
 		{gompresso.WithCWL(1)},
 		{gompresso.WithSeqsPerSub(-1)},
+		{gompresso.WithCache(-1)},
 	}
 	for i, opts := range bad {
 		if _, err := gompresso.New(opts...); !errors.Is(err, gompresso.ErrInvalidOption) {
@@ -65,6 +66,26 @@ func TestInvalidOptionsRejected(t *testing.T) {
 	}
 	if _, _, err := gompresso.Decompress(comp, gompresso.DecompressOptions{Workers: -3}); !errors.Is(err, gompresso.ErrInvalidOption) {
 		t.Errorf("Decompress negative workers: got %v", err)
+	}
+}
+
+// A codec without WithCache reports a disabled cache; with it, the
+// stats reflect the configured budget.
+func TestCacheStats(t *testing.T) {
+	plain, err := gompresso.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := plain.CacheStats(); st.Enabled || st != (gompresso.CacheStats{}) {
+		t.Fatalf("uncached codec stats = %+v", st)
+	}
+	cached, err := gompresso.New(gompresso.WithCache(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cached.CacheStats()
+	if !st.Enabled || st.MaxBytes != 1<<20 || st.HitRate() != 0 {
+		t.Fatalf("cached codec stats = %+v", st)
 	}
 }
 

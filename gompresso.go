@@ -20,6 +20,12 @@
 //	r, err := codec.NewReader(bytes.NewReader(comp))   // streaming + Seek
 //	ra, err := codec.NewReaderAt(file, size)           // concurrent ReadAt
 //
+// For serving workloads, WithCache(bytes) attaches a shared decoded-block
+// cache (LRU, singleflight, zero-copy refcounted buffers) that every
+// ReaderAt created from the codec draws on, and internal/server +
+// `gompresso serve` expose objects over HTTP with Range semantics on the
+// decompressed stream (see DESIGN.md, "Serving layer").
+//
 // New with no options selects the paper's defaults: Gompresso/Bit
 // (LZ77 + limited-length Huffman), 256 KB blocks, 8 KB window, an
 // unrestricted parse (device engine would decompress with the MRR

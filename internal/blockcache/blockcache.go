@@ -1,0 +1,363 @@
+// Package blockcache is a sharded, size-bounded LRU cache of decoded
+// blocks, shared by every reader a serving process opens. The paper's
+// container makes each block independently decodable, which cuts both
+// ways for a range server: any request can start at any block, but two
+// concurrent requests for the same hot block would each pay a full
+// decode. The cache closes that gap with two mechanisms:
+//
+//   - Singleflight decode: concurrent GetOrDecode calls for the same
+//     (object, block) key coalesce into one decode — the first caller
+//     runs it, the rest wait on its result — so a hot block is decoded
+//     once, not once per request.
+//
+//   - Refcounted buffers: a hit hands back the cached buffer itself (no
+//     copy), pinned by a reference count. Eviction only recycles a
+//     buffer once every reader has released it, so a response can stream
+//     a cached block to a socket while the LRU churns underneath.
+//
+// The cache is bounded by total decoded bytes and sharded to keep lock
+// contention off the serving path; keys hash to a shard, and each shard
+// owns an independent LRU list, singleflight table, and byte budget.
+package blockcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one decoded block: an object identity (assigned by the
+// reader that owns the underlying container, see NextObject) and the
+// block's index within it.
+type Key struct {
+	Object uint64
+	Block  uint32
+}
+
+var objectIDs atomic.Uint64
+
+// NextObject returns a process-unique object identity. Every reader that
+// shares a Cache must key its blocks under its own identity unless it
+// can prove it views the same bytes as another reader.
+func NextObject() uint64 { return objectIDs.Add(1) }
+
+// Buf is a refcounted decoded-block buffer. The cache holds one
+// reference while the entry is resident; every GetOrDecode that returns
+// it holds another. Callers must Release exactly once when done; after
+// Release the contents must not be touched. When the last reference
+// drops, the backing array returns to a pool for the next decode.
+type Buf struct {
+	data []byte
+	refs atomic.Int32
+	pool *sync.Pool
+}
+
+// Bytes returns the decoded block. The slice is shared and must be
+// treated as read-only; it is valid until Release.
+func (b *Buf) Bytes() []byte { return b.data }
+
+// Release drops the caller's reference.
+func (b *Buf) Release() {
+	if n := b.refs.Add(-1); n == 0 {
+		if b.pool != nil {
+			d := b.data
+			b.data = nil
+			b.pool.Put(&d)
+		}
+	} else if n < 0 {
+		panic("blockcache: Buf released twice")
+	}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness, the raw
+// material for a server's metrics endpoint.
+type Stats struct {
+	Hits      int64 // GetOrDecode served from a resident entry
+	Misses    int64 // GetOrDecode ran (or joined) a decode
+	Coalesced int64 // misses that joined another caller's in-flight decode
+	Evictions int64 // entries dropped to fit the byte budget
+	Entries   int64 // resident entries now
+	Bytes     int64 // resident decoded bytes now
+	MaxBytes  int64 // configured budget
+	InFlight  int64 // decodes running now
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Shard count: 16 ways for contention, but never so many that a
+// shard's budget (maxBytes/shards) drops below minShardBytes — a small
+// cache with 16 tiny shards would fail the `fits` check for every
+// normal-sized block and silently cache nothing.
+const (
+	maxShards     = 16 // power of two
+	minShardBytes = 1 << 20
+)
+
+// shardCount picks the largest power-of-two shard count ≤ maxShards
+// whose per-shard budget is at least minShardBytes (floor 1).
+func shardCount(maxBytes int64) int {
+	n := maxShards
+	for n > 1 && maxBytes/int64(n) < minShardBytes {
+		n /= 2
+	}
+	return n
+}
+
+// entry is one resident block: an LRU list node owning one buffer
+// reference.
+type entry struct {
+	key        Key
+	buf        *Buf
+	prev, next *entry // LRU ring neighbors
+}
+
+// call is one in-flight decode that later arrivals can join.
+type call struct {
+	done    chan struct{}
+	buf     *Buf // set before done closes; nil on error
+	err     error
+	waiters int32 // joiners to reserve references for, guarded by shard.mu
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	flight  map[Key]*call
+	ring    entry // sentinel: ring.next is MRU, ring.prev is LRU
+	bytes   int64
+	max     int64
+}
+
+// Cache is the shared decoded-block cache. Safe for concurrent use.
+type Cache struct {
+	shards []shard
+	pool   sync.Pool // *[]byte decode buffers
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	inflight  atomic.Int64
+	entries   atomic.Int64 // mirrors Σ len(shard.entries), for lock-free Stats
+	bytes     atomic.Int64 // mirrors Σ shard.bytes
+	maxBytes  int64
+}
+
+// New builds a cache bounded at maxBytes of decoded data. The budget is
+// split evenly across the shards (see shardCount), so a single entry
+// larger than a shard's budget is served but never retained.
+func New(maxBytes int64) *Cache {
+	n := shardCount(maxBytes)
+	c := &Cache{maxBytes: maxBytes, shards: make([]shard, n)}
+	per := maxBytes / int64(n)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[Key]*entry)
+		s.flight = make(map[Key]*call)
+		s.ring.next = &s.ring
+		s.ring.prev = &s.ring
+		s.max = per
+	}
+	return c
+}
+
+// shardOf hashes a key to its shard.
+func (c *Cache) shardOf(k Key) *shard {
+	h := k.Object*0x9e3779b97f4a7c15 + uint64(k.Block)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return &c.shards[h&uint64(len(c.shards)-1)]
+}
+
+// getBuf returns a pooled buffer of length n with one reference held by
+// the caller.
+func (c *Cache) getBuf(n int) *Buf {
+	b := &Buf{pool: &c.pool}
+	if p, ok := c.pool.Get().(*[]byte); ok && cap(*p) >= n {
+		b.data = (*p)[:n]
+	} else {
+		b.data = make([]byte, n)
+	}
+	b.refs.Store(1)
+	return b
+}
+
+// GetOrDecode returns the decoded block for key, running decode (into a
+// cache-owned buffer of exactly size bytes) on a miss. Concurrent calls
+// for the same key coalesce: one runs the decode, the rest block until
+// it finishes (or their own ctx is cancelled) and share the result.
+// Decode errors are returned to every caller and are not cached. If the
+// winning caller's context cancellation aborted the decode, waiters
+// whose own contexts are still live retry the decode themselves.
+//
+// The caller must Release the returned Buf exactly once.
+func (c *Cache) GetOrDecode(ctx context.Context, key Key, size int, decode func(dst []byte) error) (*Buf, error) {
+	sh := c.shardOf(key)
+	for {
+		sh.mu.Lock()
+		if e, ok := sh.entries[key]; ok {
+			e.buf.refs.Add(1) // under sh.mu: eviction can't race the pin
+			sh.moveToFront(e)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return e.buf, nil
+		}
+		if cl, ok := sh.flight[key]; ok {
+			cl.waiters++
+			sh.mu.Unlock()
+			c.misses.Add(1)
+			c.coalesced.Add(1)
+			buf, err, joined := c.wait(ctx, sh, key, cl)
+			if !joined {
+				continue // winner aborted on its ctx; ours is live, retry
+			}
+			return buf, err
+		}
+		// About to become the singleflight winner and pay a decode: a
+		// cancelled caller (e.g. an abandoned prefetch) must not.
+		if err := ctx.Err(); err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+		cl := &call{done: make(chan struct{})}
+		sh.flight[key] = cl
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return c.decodeAndInsert(sh, key, size, decode, cl)
+	}
+}
+
+// wait blocks a joiner on an in-flight decode. joined=false means the
+// decode failed with a context error that was not ours — the caller
+// should retry.
+func (c *Cache) wait(ctx context.Context, sh *shard, key Key, cl *call) (buf *Buf, err error, joined bool) {
+	select {
+	case <-cl.done:
+	case <-ctx.Done():
+		sh.mu.Lock()
+		select {
+		case <-cl.done:
+			// Completed while we were giving up: a reference was already
+			// reserved for us; give it back.
+			sh.mu.Unlock()
+			if cl.buf != nil {
+				cl.buf.Release()
+			}
+		default:
+			cl.waiters--
+			sh.mu.Unlock()
+		}
+		return nil, ctx.Err(), true
+	}
+	if cl.err != nil {
+		if isCtxErr(cl.err) && ctx.Err() == nil {
+			return nil, nil, false
+		}
+		return nil, cl.err, true
+	}
+	return cl.buf, nil, true
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// decodeAndInsert runs the decode as the singleflight winner, publishes
+// the result to waiters, and inserts the entry into the LRU.
+func (c *Cache) decodeAndInsert(sh *shard, key Key, size int, decode func(dst []byte) error, cl *call) (*Buf, error) {
+	c.inflight.Add(1)
+	buf := c.getBuf(size)
+	err := decode(buf.data)
+	c.inflight.Add(-1)
+
+	sh.mu.Lock()
+	delete(sh.flight, key)
+	if err != nil {
+		cl.err = err
+		close(cl.done)
+		sh.mu.Unlock()
+		buf.refs.Store(1)
+		buf.Release() // back to the pool
+		return nil, err
+	}
+	// One reference per waiter, one for this caller, and — if the entry
+	// fits the shard budget — one for the cache. All reserved under
+	// sh.mu, before done closes, so no reader can observe a stale count.
+	refs := cl.waiters + 1
+	fits := int64(size) <= sh.max
+	if fits {
+		refs++
+		e := &entry{key: key, buf: buf}
+		sh.entries[key] = e
+		sh.pushFront(e)
+		sh.bytes += int64(size)
+		c.entries.Add(1)
+		c.bytes.Add(int64(size))
+		c.evict(sh)
+	}
+	buf.refs.Store(refs)
+	cl.buf = buf
+	close(cl.done)
+	sh.mu.Unlock()
+	return buf, nil
+}
+
+// evict drops LRU entries until the shard fits its budget. Caller holds
+// sh.mu.
+func (c *Cache) evict(sh *shard) {
+	for sh.bytes > sh.max {
+		lru := sh.ring.prev
+		if lru == &sh.ring {
+			return
+		}
+		sh.unlink(lru)
+		delete(sh.entries, lru.key)
+		sh.bytes -= int64(len(lru.buf.data))
+		c.entries.Add(-1)
+		c.bytes.Add(-int64(len(lru.buf.data)))
+		c.evictions.Add(1)
+		lru.buf.Release() // cache's reference; readers may still hold theirs
+	}
+}
+
+// Stats snapshots the cache counters. It takes no locks — every value
+// is an atomic read — so a metrics scrape never contends with the
+// serving hot path (and, like any scrape, is not a consistent cut).
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		MaxBytes:  c.maxBytes,
+		InFlight:  c.inflight.Load(),
+	}
+}
+
+// LRU ring plumbing. All callers hold sh.mu.
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = &sh.ring
+	e.next = sh.ring.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (sh *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveToFront(e *entry) {
+	sh.unlink(e)
+	sh.pushFront(e)
+}

@@ -1,0 +1,361 @@
+package blockcache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fill(v byte) func(dst []byte) error {
+	return func(dst []byte) error {
+		for i := range dst {
+			dst[i] = v
+		}
+		return nil
+	}
+}
+
+func TestHitMissAndContents(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	k := Key{Object: NextObject(), Block: 3}
+
+	b, err := c.GetOrDecode(ctx, k, 100, fill(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bytes()) != 100 || b.Bytes()[0] != 7 || b.Bytes()[99] != 7 {
+		t.Fatalf("bad decode result: len=%d", len(b.Bytes()))
+	}
+	b.Release()
+
+	b2, err := c.GetOrDecode(ctx, k, 100, func([]byte) error {
+		t.Fatal("decode ran on a resident entry")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Release()
+
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestShardCount(t *testing.T) {
+	cases := []struct {
+		maxBytes int64
+		want     int
+	}{
+		{0, 1}, {256 << 10, 1}, {1 << 20, 1}, {4 << 20, 4},
+		{16 << 20, 16}, {64 << 20, 16},
+	}
+	for _, tc := range cases {
+		if got := shardCount(tc.maxBytes); got != tc.want {
+			t.Errorf("shardCount(%d) = %d, want %d", tc.maxBytes, got, tc.want)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// A 300-byte cache gets one shard (see shardCount), so the LRU
+	// order across keys is deterministic.
+	c := New(300)
+	keys := []Key{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	ctx := context.Background()
+	get := func(k Key) {
+		b, err := c.GetOrDecode(ctx, k, 100, fill(byte(k.Block)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+	}
+	get(keys[0])
+	get(keys[1])
+	get(keys[2]) // full: 300 bytes
+	get(keys[0]) // touch 0 → LRU order is now 1, 2, 0
+	get(keys[3]) // evicts keys[1]
+
+	if s := c.Stats(); s.Evictions != 1 || s.Bytes != 300 || s.Entries != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// keys[1] must re-decode; keys[0], [2], [3] must not.
+	decoded := false
+	b, err := c.GetOrDecode(ctx, keys[1], 100, func(dst []byte) error {
+		decoded = true
+		return fill(1)(dst)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	if !decoded {
+		t.Fatal("evicted entry served without a decode")
+	}
+}
+
+func TestOversizedEntryNotRetained(t *testing.T) {
+	c := New(64)
+	ctx := context.Background()
+	b, err := c.GetOrDecode(ctx, Key{Object: 9, Block: 0}, 1000, fill(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), bytes.Repeat([]byte{5}, 1000)) {
+		t.Fatal("oversized decode corrupted")
+	}
+	b.Release()
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("oversized entry retained: %+v", s)
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Object: NextObject(), Block: 1}
+	var decodes atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := c.GetOrDecode(context.Background(), k, 64, func(dst []byte) error {
+				if decodes.Add(1) == 1 {
+					close(started)
+				}
+				<-release
+				return fill(42)(dst)
+			})
+			errs[i] = err
+			if err == nil {
+				results[i] = append([]byte(nil), b.Bytes()...)
+				b.Release()
+			}
+		}(i)
+	}
+	<-started
+	time.Sleep(10 * time.Millisecond) // let the rest pile onto the flight table
+	close(release)
+	wg.Wait()
+
+	if got := decodes.Load(); got != 1 {
+		t.Fatalf("decode ran %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], bytes.Repeat([]byte{42}, 64)) {
+			t.Fatalf("caller %d: wrong bytes", i)
+		}
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != n || s.Coalesced != n-1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDecodeErrorPropagatesAndIsNotCached(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Object: NextObject(), Block: 0}
+	boom := errors.New("boom")
+	if _, err := c.GetOrDecode(context.Background(), k, 8, func([]byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not poison the key.
+	b, err := c.GetOrDecode(context.Background(), k, 8, fill(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWaiterContextCancel(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Object: NextObject(), Block: 0}
+	inDecode := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		b, err := c.GetOrDecode(context.Background(), k, 8, func(dst []byte) error {
+			close(inDecode)
+			<-release
+			return fill(1)(dst)
+		})
+		if err == nil {
+			b.Release()
+		}
+	}()
+	<-inDecode
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrDecode(ctx, k, 8, fill(1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+// A winner aborted by its own context must not fail waiters whose
+// contexts are live: they retry the decode themselves.
+func TestWaiterRetriesAfterWinnerCancelled(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Object: NextObject(), Block: 0}
+	winnerCtx, cancelWinner := context.WithCancel(context.Background())
+	inDecode := make(chan struct{})
+	go func() {
+		c.GetOrDecode(winnerCtx, k, 8, func(dst []byte) error {
+			close(inDecode)
+			<-winnerCtx.Done() // a decode path that honors cancellation
+			return winnerCtx.Err()
+		})
+	}()
+	<-inDecode
+	done := make(chan error, 1)
+	go func() {
+		b, err := c.GetOrDecode(context.Background(), k, 8, fill(9))
+		if err == nil {
+			if b.Bytes()[0] != 9 {
+				err = fmt.Errorf("wrong bytes after retry")
+			}
+			b.Release()
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancelWinner()
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after winner cancel: %v", err)
+	}
+}
+
+// Evicting an entry a reader still holds must not recycle its bytes
+// until the reader releases.
+func TestEvictionRespectsReferences(t *testing.T) {
+	c := New(100) // one shard holding exactly one 100-byte entry
+	keys := []Key{{2, 0}, {2, 1}}
+	ctx := context.Background()
+	held, err := c.GetOrDecode(ctx, keys[0], 100, fill(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the shard so keys[0] evicts while held.
+	b2, err := c.GetOrDecode(ctx, keys[1], 100, fill(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.Release()
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Decode more blocks through the pool; held's bytes must survive.
+	for i := 0; i < 8; i++ {
+		b, err := c.GetOrDecode(ctx, Key{Object: 3, Block: uint32(i)}, 100, fill(33))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+	}
+	if !bytes.Equal(held.Bytes(), bytes.Repeat([]byte{11}, 100)) {
+		t.Fatal("evicted-but-held buffer was recycled under the reader")
+	}
+	held.Release()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	// Use an oversized entry (not retained by the cache) so the second
+	// Release drives the count negative and trips the guard; on a
+	// resident entry the cache's own reference masks the bug.
+	c := New(16)
+	b, err := c.GetOrDecode(context.Background(), Key{Object: NextObject()}, 64, fill(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+// Concurrent stress over a small budget: many goroutines, overlapping
+// keys, constant eviction. Run with -race.
+func TestConcurrentStress(t *testing.T) {
+	c := New(16 << 20) // 16 shards: exercise the multi-shard hash path
+	if len(c.shards) != maxShards {
+		t.Fatalf("want %d shards, got %d", maxShards, len(c.shards))
+	}
+	const (
+		objects = 4
+		blocks  = 32
+		workers = 8
+		iters   = 100
+		// objects×blocks×entSize = 32 MiB demand against the 16 MiB
+		// budget: constant eviction across all shards.
+		entSize = 256 << 10
+	)
+	objs := make([]uint64, objects)
+	for i := range objs {
+		objs[i] = NextObject()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			r := uint32(seed*2654435761 + 1)
+			for i := 0; i < iters; i++ {
+				r = r*1664525 + 1013904223
+				k := Key{Object: objs[r%objects], Block: (r >> 8) % blocks}
+				want := byte(k.Object*31 + uint64(k.Block))
+				b, err := c.GetOrDecode(context.Background(), k, entSize, fill(want))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				d := b.Bytes()
+				if len(d) != entSize || d[0] != want || d[entSize-1] != want {
+					t.Errorf("key %v: corrupt buffer", k)
+					b.Release()
+					return
+				}
+				b.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Bytes > s.MaxBytes {
+		t.Fatalf("cache over budget: %+v", s)
+	}
+	if s.Hits+s.Misses != workers*iters {
+		t.Fatalf("lost requests: %+v", s)
+	}
+	if s.Evictions == 0 {
+		t.Fatalf("demand 2x budget but no evictions: %+v", s)
+	}
+}

@@ -1,0 +1,179 @@
+package perf
+
+// Runtime metrics for the serving layer. The package's other half turns
+// measured times into the paper's reported quantities offline; this half
+// is the live counterpart: cheap atomic counters and gauges a daemon
+// bumps on the request path, collected by a Registry that renders a
+// Prometheus-style text exposition or JSON for a /metrics endpoint.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which should be non-negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (in-flight requests, resident
+// bytes). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// metric is one registered name with its sampler.
+type metric struct {
+	name   string
+	help   string
+	sample func() float64
+}
+
+// Registry collects named metrics and renders them. Registration is
+// expected at setup time; rendering may run concurrently with updates
+// (samples are individually atomic, the exposition is not a consistent
+// cut — the usual contract for scrape endpoints).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// register adds (or replaces) a sampler under name.
+func (r *Registry) register(name, help string, sample func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		r.metrics[i] = metric{name, help, sample}
+		return
+	}
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name, help, sample})
+}
+
+// Counter registers and returns a counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, func() float64 { return float64(c.Load()) })
+	return c
+}
+
+// Gauge registers and returns a gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, func() float64 { return float64(g.Load()) })
+	return g
+}
+
+// Func registers a computed metric, sampled at render time — the hook
+// for values owned elsewhere (cache residency, hit rate).
+func (r *Registry) Func(name, help string, sample func() float64) {
+	r.register(name, help, sample)
+}
+
+// Snapshot samples every metric once, in registration order.
+func (r *Registry) Snapshot() (names []string, values []float64) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	names = make([]string, len(ms))
+	values = make([]float64, len(ms))
+	for i, m := range ms {
+		names[i] = m.name
+		values[i] = m.sample()
+	}
+	return names, values
+}
+
+// WriteText renders the registry in Prometheus text exposition style:
+// a "# HELP" line per metric followed by "name value".
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.sample())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry as a flat JSON object, keys sorted for
+// stable output.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	names, values := r.Snapshot()
+	obj := make(map[string]float64, len(names))
+	for i, n := range names {
+		obj[n] = values[i]
+	}
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Hand-rolled ordered emission: encoding/json writes maps in sorted
+	// key order already, but emitting explicitly keeps integers integral
+	// (no 1e+06 notation) for shell-friendly scraping.
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		kb, _ := json.Marshal(k)
+		if _, err := fmt.Fprintf(w, "%s\n  %s: %s", sep, kb, formatValue(obj[k])); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}
+
+// formatValue renders integers without an exponent and floats compactly.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

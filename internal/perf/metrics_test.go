@@ -1,0 +1,105 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	var g Gauge
+	g.Inc()
+	g.Add(10)
+	g.Dec()
+	if g.Load() != 10 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+	g.Set(-3)
+	if g.Load() != -3 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+}
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served")
+	r.Gauge("inflight", "").Set(2)
+	r.Func("hit_rate", "cache hit rate", func() float64 { return 0.25 })
+	c.Add(7)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP requests_total requests served\n",
+		"requests_total 7\n",
+		"inflight 2\n",
+		"hit_rate 0.25\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# HELP inflight") {
+		t.Fatalf("empty help rendered:\n%s", out)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(1000000) // must not render as 1e+06
+	r.Func("a_rate", "", func() float64 { return 0.5 })
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if got["b_total"] != 1000000 || got["a_rate"] != 0.5 {
+		t.Fatalf("got %v", got)
+	}
+	if strings.Contains(buf.String(), "e+") {
+		t.Fatalf("exponent notation in JSON: %s", buf.String())
+	}
+}
+
+func TestRegistryReplaceAndConcurrency(t *testing.T) {
+	r := NewRegistry()
+	r.Func("x", "", func() float64 { return 1 })
+	r.Func("x", "", func() float64 { return 2 }) // replace, not duplicate
+	names, values := r.Snapshot()
+	if len(names) != 1 || values[0] != 2 {
+		t.Fatalf("snapshot = %v %v", names, values)
+	}
+
+	c := r.Counter("n", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				var buf bytes.Buffer
+				r.WriteText(&buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 4000 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+}

@@ -1,0 +1,605 @@
+// Package server is the network-facing serving layer: an HTTP daemon
+// that exposes the *decompressed* contents of compressed objects under a
+// root directory, built on the repository's block-parallel machinery.
+//
+// Request lifecycle: a GET/HEAD for /<path> resolves to root/<path>,
+// whose format is sniffed (Gompresso container, gzip, or zlib). Range
+// and If-Range headers are interpreted over the decompressed stream —
+// clients address raw bytes and never see the compression. Indexed
+// containers serve ranges through gompresso.ReaderAt, which decodes
+// only the blocks the range overlaps; with a decoded-block cache
+// attached (Options.CacheBytes), hot blocks are decoded once and
+// streamed to every requester from shared refcounted buffers, and
+// concurrent requests for the same block coalesce into a single decode.
+// Unindexed containers and foreign .gz/.zz objects fall back to a
+// sequential decode per request.
+//
+// All requests share one codec — one worker pool, one cache, one
+// budget — and a concurrency limiter bounds how many are actively
+// decoding, so a burst of N requests cannot oversubscribe the pool.
+// Each request's context cancels its decode pipeline when the client
+// disconnects. /healthz answers liveness; /metrics exposes request,
+// byte, and cache-effectiveness counters (Prometheus-style text, or
+// JSON with ?format=json).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gompresso"
+	"gompresso/internal/format"
+	"gompresso/internal/perf"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Root is the directory whose files are served (required). The
+	// request path maps directly under it; traversal is rejected.
+	Root string
+	// CacheBytes bounds the shared decoded-block cache. 0 disables
+	// caching (every range request decodes its blocks).
+	CacheBytes int64
+	// Workers is the decode worker budget shared by all requests
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Readahead is the streaming pipelines' readahead bound (0 = 2×Workers).
+	Readahead int
+	// MaxInFlight bounds the requests concurrently inside the decode
+	// section; excess requests queue until a slot frees or the client
+	// gives up. 0 selects 4×GOMAXPROCS.
+	MaxInFlight int
+	// Logf, when set, receives one line per completed request.
+	Logf func(format string, args ...any)
+}
+
+// Server serves decompressed objects over HTTP. Create with New; it is
+// an http.Handler factory (Handler), not a listener — the caller owns
+// the http.Server and its lifecycle.
+type Server struct {
+	root  string
+	codec *gompresso.Codec
+	sem   chan struct{}
+	logf  func(string, ...any)
+
+	mu      sync.Mutex
+	objects map[string]*object
+
+	reg       *perf.Registry
+	mRequests *perf.Counter
+	mRanges   *perf.Counter
+	mErrors   *perf.Counter
+	mBytes    *perf.Counter
+	gInFlight *perf.Gauge
+	gWaiting  *perf.Gauge
+	gDecoding *perf.Gauge
+}
+
+// object is one resolved file under the root, cached across requests so
+// its header parse / index load / decompressed-size discovery happen
+// once. Validators (size+mtime) staleness-check it on every request.
+type object struct {
+	name  string
+	file  *os.File
+	fsize int64
+	mtime time.Time
+	etag  string
+	form  gompresso.Format
+
+	// ra serves indexed native containers; nil selects the sequential
+	// fallback (unindexed native, or foreign gzip/zlib).
+	ra *gompresso.ReaderAt
+
+	// rawSize is the decompressed size; -1 until discovered (foreign
+	// formats pay one counting decode on first use). szTok is the
+	// capacity-1 token serializing that discovery; waiters block on it
+	// with their request context, not a bare mutex.
+	rawSize atomic.Int64
+	szTok   chan struct{}
+
+	// refs counts requests currently serving from this object and stale
+	// marks a resolution dropped from the registry (replaced, or evicted
+	// by the registry cap); both are guarded by Server.mu. The last
+	// releaser of a stale object closes its file, so rotated or evicted
+	// files do not leak descriptors until a GC finalizer. lastUse
+	// (also under mu) orders cap eviction.
+	refs    int
+	stale   bool
+	lastUse time.Time
+}
+
+// maxOpenObjects caps the registry: each resolved object pins one open
+// file descriptor, so a root with more distinct files than ulimit -n
+// must recycle resolutions instead of exhausting descriptors. Eviction
+// is least-recently-used; an evicted object only loses its cached
+// resolution (header parse, index, discovered size) — the next request
+// re-resolves it.
+const maxOpenObjects = 512
+
+// New builds a Server over root. The codec — worker pool, readahead,
+// decoded-block cache — is constructed here and shared by every request.
+func New(o Options) (*Server, error) {
+	st, err := os.Stat(o.Root)
+	if err != nil {
+		return nil, fmt.Errorf("server: root: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("server: root %q is not a directory", o.Root)
+	}
+	if o.MaxInFlight < 0 {
+		return nil, fmt.Errorf("server: negative MaxInFlight %d", o.MaxInFlight)
+	}
+	if o.CacheBytes < 0 {
+		// Mirror WithCache's contract rather than silently serving
+		// uncached forever on an operator typo.
+		return nil, fmt.Errorf("server: negative CacheBytes %d", o.CacheBytes)
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	copts := []gompresso.Option{
+		gompresso.WithWorkers(o.Workers),
+		gompresso.WithReadahead(o.Readahead),
+	}
+	if o.CacheBytes > 0 {
+		copts = append(copts, gompresso.WithCache(o.CacheBytes))
+	}
+	codec, err := gompresso.New(copts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		root:    o.Root,
+		codec:   codec,
+		sem:     make(chan struct{}, o.MaxInFlight),
+		logf:    o.Logf,
+		objects: make(map[string]*object),
+		reg:     perf.NewRegistry(),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	s.mRequests = s.reg.Counter("requests_total", "object requests received")
+	s.mRanges = s.reg.Counter("range_requests_total", "requests served as 206 partial content")
+	s.mErrors = s.reg.Counter("errors_total", "requests answered with a 4xx/5xx status or aborted mid-body")
+	s.mBytes = s.reg.Counter("bytes_served_total", "decompressed body bytes written to clients")
+	s.gInFlight = s.reg.Gauge("inflight_requests", "object requests inside the decode section now")
+	s.gWaiting = s.reg.Gauge("waiting_requests", "object requests queued on the concurrency limiter now")
+	s.gDecoding = s.reg.Gauge("inflight_sequential_decodes", "sequential fallback decodes running now")
+	s.reg.Func("objects_open", "distinct objects resolved and cached", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.objects))
+	})
+	s.reg.Func("cache_hits_total", "block requests served from the decoded-block cache", func() float64 {
+		return float64(codec.CacheStats().Hits)
+	})
+	s.reg.Func("cache_misses_total", "block requests that ran or joined a decode", func() float64 {
+		return float64(codec.CacheStats().Misses)
+	})
+	s.reg.Func("cache_coalesced_total", "block decodes avoided by joining an in-flight one", func() float64 {
+		return float64(codec.CacheStats().Coalesced)
+	})
+	s.reg.Func("cache_evictions_total", "blocks evicted to fit the cache budget", func() float64 {
+		return float64(codec.CacheStats().Evictions)
+	})
+	s.reg.Func("cache_bytes", "resident decoded bytes", func() float64 {
+		return float64(codec.CacheStats().Bytes)
+	})
+	s.reg.Func("cache_hit_rate", "hits / (hits+misses)", func() float64 {
+		return codec.CacheStats().HitRate()
+	})
+	s.reg.Func("inflight_block_decodes", "cache block decodes running now", func() float64 {
+		return float64(codec.CacheStats().InFlight)
+	})
+	return s, nil
+}
+
+// Codec exposes the server's shared codec (for benchmarks and tests
+// inspecting cache behavior).
+func (s *Server) Codec() *gompresso.Codec { return s.codec }
+
+// Handler returns the server's HTTP handler: /healthz, /metrics, and
+// every other path an object request.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			s.reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WriteText(w)
+	})
+	mux.HandleFunc("/", s.serveObject)
+	return mux
+}
+
+// statusWriter records the response status and body byte count.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// serveObject handles one GET/HEAD object request end to end.
+func (s *Server) serveObject(rw http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	w := &statusWriter{ResponseWriter: rw}
+	start := time.Now()
+	err := s.serve(w, r)
+	if err != nil || w.status >= 400 {
+		s.mErrors.Inc()
+	}
+	s.mBytes.Add(w.bytes)
+	s.logf("%s %s %d %dB %v err=%v", r.Method, r.URL.Path, w.status, w.bytes, time.Since(start).Round(time.Microsecond), err)
+}
+
+// httpError is an error with a response status. serve's callees return
+// it while the response is still unwritten.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) serve(w *statusWriter, r *http.Request) error {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return nil
+	}
+	obj, err := s.open(r.URL.Path)
+	if err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			http.Error(w, he.msg, he.code)
+			return nil
+		}
+		http.Error(w, "internal error", http.StatusInternalServerError)
+		return err
+	}
+	defer s.release(obj)
+
+	// Conditional GET resolves on the validators alone — before the
+	// limiter and before any size discovery, so revalidations are free.
+	if notModified(r.Header.Get("If-None-Match"), r.Header.Get("If-Modified-Since"), obj.etag, obj.mtime) {
+		h := w.Header()
+		h.Set("ETag", obj.etag)
+		h.Set("Last-Modified", obj.mtime.UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusNotModified)
+		return nil
+	}
+
+	// The decode section: everything below may decode blocks, so it
+	// runs inside the concurrency limiter. Waiters give up when the
+	// client does.
+	ctx := r.Context()
+	s.gWaiting.Inc()
+	select {
+	case s.sem <- struct{}{}:
+		s.gWaiting.Dec()
+	case <-ctx.Done():
+		s.gWaiting.Dec()
+		return ctx.Err()
+	}
+	defer func() { <-s.sem }()
+	s.gInFlight.Inc()
+	defer s.gInFlight.Dec()
+
+	size, err := s.objSize(ctx, obj)
+	if err != nil {
+		http.Error(w, "cannot determine object size", http.StatusInternalServerError)
+		return err
+	}
+
+	h := w.Header()
+	h.Set("Accept-Ranges", "bytes")
+	h.Set("ETag", obj.etag)
+	h.Set("Last-Modified", obj.mtime.UTC().Format(http.TimeFormat))
+	h.Set("Content-Type", contentTypeFor(obj.name))
+
+	rng := byteRange{off: 0, length: size}
+	status := http.StatusOK
+	// Range applies to GET only (RFC 9110 §14.2); HEAD reports the
+	// full representation.
+	if spec := r.Header.Get("Range"); spec != "" && r.Method == http.MethodGet &&
+		ifRangeApplies(r.Header.Get("If-Range"), obj.etag, obj.mtime) {
+		pr, ok, rerr := parseRange(spec, size)
+		if rerr != nil {
+			h.Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+			http.Error(w, "range not satisfiable", http.StatusRequestedRangeNotSatisfiable)
+			return nil
+		}
+		if ok {
+			rng, status = pr, http.StatusPartialContent
+			h.Set("Content-Range", rng.contentRange(size))
+			s.mRanges.Inc()
+		}
+	}
+	h.Set("Content-Length", strconv.FormatInt(rng.length, 10))
+	w.WriteHeader(status)
+	if r.Method == http.MethodHead {
+		return nil
+	}
+	if obj.ra != nil {
+		_, err = obj.ra.WriteRangeTo(ctx, w, rng.off, rng.length)
+	} else {
+		err = s.serveSequential(ctx, obj, w, rng.off, rng.length)
+	}
+	// The status line is gone; a decode or write failure here can only
+	// abort the connection (the byte count mismatch tells the client).
+	return err
+}
+
+// open resolves a request path to a served object, reusing the cached
+// resolution while the file's size and mtime are unchanged. The
+// returned object is pinned for the caller (refs incremented); it must
+// be handed to release exactly once.
+func (s *Server) open(urlPath string) (*object, error) {
+	name := path.Clean("/" + urlPath)[1:]
+	if name == "" || name == "." {
+		return nil, errf(http.StatusNotFound, "not found")
+	}
+	full := filepath.Join(s.root, filepath.FromSlash(name))
+	st, err := os.Stat(full)
+	if err != nil || st.IsDir() {
+		return nil, errf(http.StatusNotFound, "not found")
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	if cached, ok := s.objects[name]; ok && cached.fsize == st.Size() && cached.mtime.Equal(st.ModTime()) {
+		cached.refs++
+		cached.lastUse = now
+		s.mu.Unlock()
+		return cached, nil
+	}
+	s.mu.Unlock()
+
+	f, err := os.Open(full)
+	if err != nil {
+		if os.IsNotExist(err) || os.IsPermission(err) {
+			return nil, errf(http.StatusNotFound, "not found")
+		}
+		return nil, err // e.g. EMFILE: a server problem, not a 404
+	}
+	obj, err := s.resolve(name, f, st)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	// A concurrent request may have resolved the same file; keep the
+	// registry's copy and discard ours so every request for one
+	// generation shares one object (and one set of cache keys).
+	if cur, ok := s.objects[name]; ok && cur.fsize == st.Size() && cur.mtime.Equal(st.ModTime()) {
+		cur.refs++
+		cur.lastUse = now
+		s.mu.Unlock()
+		f.Close()
+		return cur, nil
+	}
+	old := s.objects[name]
+	obj.refs = 1
+	obj.lastUse = now
+	s.objects[name] = obj
+	// A replaced predecessor stays open while in-flight requests read
+	// it; the last release closes it. Its cache entries (keyed under
+	// the old ReaderAt's object id) age out of the LRU.
+	if old != nil {
+		s.retire(old)
+	}
+	for len(s.objects) > maxOpenObjects {
+		s.evictOldest()
+	}
+	s.mu.Unlock()
+	return obj, nil
+}
+
+// retire marks a resolution dropped from the registry, closing its file
+// now if no request holds it. Caller holds s.mu.
+func (s *Server) retire(obj *object) {
+	obj.stale = true
+	if obj.refs == 0 {
+		obj.file.Close()
+	}
+}
+
+// evictOldest drops the least-recently-used registry entry to keep the
+// open-descriptor count bounded. Caller holds s.mu.
+func (s *Server) evictOldest() {
+	var lru *object
+	for _, o := range s.objects {
+		if lru == nil || o.lastUse.Before(lru.lastUse) {
+			lru = o
+		}
+	}
+	if lru == nil {
+		return
+	}
+	delete(s.objects, lru.name)
+	s.retire(lru)
+}
+
+// release unpins an object returned by open, closing a stale object's
+// file once its last request finishes.
+func (s *Server) release(obj *object) {
+	s.mu.Lock()
+	obj.refs--
+	if obj.stale && obj.refs == 0 {
+		obj.file.Close()
+	}
+	s.mu.Unlock()
+}
+
+// resolve sniffs the file's format and builds the serving state: a
+// ReaderAt for indexed native containers, sequential metadata otherwise.
+func (s *Server) resolve(name string, f *os.File, st os.FileInfo) (*object, error) {
+	head := make([]byte, 4)
+	n, _ := f.ReadAt(head, 0)
+	form := gompresso.DetectFormat(head[:n])
+	if form == gompresso.FormatAuto {
+		return nil, errf(http.StatusUnsupportedMediaType,
+			"unsupported object format (want Gompresso container, gzip, or zlib)")
+	}
+	obj := &object{
+		name:  name,
+		file:  f,
+		fsize: st.Size(),
+		mtime: st.ModTime(),
+		etag:  fmt.Sprintf(`"g-%x-%x"`, st.Size(), st.ModTime().UnixNano()),
+		form:  form,
+		szTok: make(chan struct{}, 1),
+	}
+	obj.rawSize.Store(-1)
+	if form == gompresso.FormatGompresso {
+		hdr, err := readHeader(f)
+		if err != nil {
+			return nil, errf(http.StatusUnsupportedMediaType, "malformed container: %v", err)
+		}
+		obj.rawSize.Store(int64(hdr.RawSize))
+		// Fallback rule: random access only through a real index
+		// trailer. An unindexed container would need a full scan to
+		// build one, so it streams sequentially like a foreign object.
+		if _, err := format.ReadIndexAt(f, st.Size(), hdr); err == nil {
+			ra, err := s.codec.NewReaderAt(f, st.Size())
+			if err != nil {
+				return nil, errf(http.StatusUnsupportedMediaType, "malformed container: %v", err)
+			}
+			obj.ra = ra
+		}
+	}
+	return obj, nil
+}
+
+// readHeader parses the container file header from the start of f.
+func readHeader(f *os.File) (format.FileHeader, error) {
+	head := make([]byte, format.HeaderSize)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return format.FileHeader{}, err
+	}
+	return format.ParseHeader(head)
+}
+
+// objSize returns the object's decompressed size, discovering it with
+// one counting decode for formats that don't carry it (kept for the
+// object's lifetime). Native containers know it from the header.
+// Discovery is a context-aware singleflight: one request counts while
+// the rest wait on the token with their own contexts, so a disconnected
+// waiter frees its concurrency-limiter slot instead of queueing blindly
+// behind a slow decode; if the counting request is itself cancelled, the
+// next waiter takes over.
+func (s *Server) objSize(ctx context.Context, obj *object) (int64, error) {
+	if v := obj.rawSize.Load(); v >= 0 {
+		return v, nil
+	}
+	select {
+	case obj.szTok <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	defer func() { <-obj.szTok }()
+	if v := obj.rawSize.Load(); v >= 0 {
+		return v, nil
+	}
+	n, err := s.countSize(ctx, obj)
+	if err != nil {
+		return 0, err
+	}
+	obj.rawSize.Store(n)
+	return n, nil
+}
+
+// countSize runs the counting decode behind objSize's token.
+func (s *Server) countSize(ctx context.Context, obj *object) (int64, error) {
+	s.gDecoding.Inc()
+	defer s.gDecoding.Dec()
+	r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(obj.file, 0, obj.fsize))
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	return io.Copy(io.Discard, r)
+}
+
+// serveSequential is the fallback send path: decode the stream under
+// the request's context, position at off (Seek for native containers,
+// decode-and-discard for foreign), and copy length bytes.
+func (s *Server) serveSequential(ctx context.Context, obj *object, w io.Writer, off, length int64) error {
+	s.gDecoding.Inc()
+	defer s.gDecoding.Dec()
+	r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(obj.file, 0, obj.fsize))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if off > 0 {
+		if obj.form == gompresso.FormatGompresso {
+			_, err = r.Seek(off, io.SeekStart)
+		} else {
+			_, err = io.CopyN(io.Discard, r, off)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if length > 0 {
+		if _, err := io.CopyN(w, r, length); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// contentTypeFor guesses a Content-Type from the object name with the
+// compression suffix stripped: corpus.txt.gz serves as text/plain.
+func contentTypeFor(name string) string {
+	base := name
+	switch ext := path.Ext(base); ext {
+	case ".gz", ".zz", ".gpz":
+		base = base[:len(base)-len(ext)]
+	}
+	if t := mime.TypeByExtension(path.Ext(base)); t != "" {
+		return t
+	}
+	return "application/octet-stream"
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 
+	"gompresso/internal/blockcache"
 	"gompresso/internal/format"
 	"gompresso/internal/parallel"
 )
@@ -27,16 +28,23 @@ type ReaderAt struct {
 	idx     *format.Index
 	workers int // per-call decode concurrency; 0 selects GOMAXPROCS
 	ctx     context.Context
+
+	// Optional shared decoded-block cache (Codec.WithCache). Blocks are
+	// keyed under obj, a process-unique identity for this ReaderAt, so
+	// two readers never alias each other's decoded bytes. nil means
+	// every read decodes — the original PR-2 path, byte-identical.
+	cache *blockcache.Cache
+	obj   uint64
 }
 
 // NewReaderAt opens a Gompresso container stored in the first size bytes
 // of ra for random access. Codec.NewReaderAt is the same, bound to a
 // codec's worker budget and context.
 func NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
-	return newReaderAt(ra, size, 0, context.Background(), FormatAuto)
+	return newReaderAt(ra, size, 0, context.Background(), FormatAuto, nil)
 }
 
-func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context, form Format) (*ReaderAt, error) {
+func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context, form Format, cache *blockcache.Cache) (*ReaderAt, error) {
 	head := make([]byte, format.HeaderSize)
 	n, err := ra.ReadAt(head, 0)
 	if err != nil && err != io.EOF {
@@ -68,7 +76,11 @@ func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context, f
 			return nil, err
 		}
 	}
-	return &ReaderAt{ra: ra, hdr: hdr, idx: idx, workers: workers, ctx: ctx}, nil
+	r := &ReaderAt{ra: ra, hdr: hdr, idx: idx, workers: workers, ctx: ctx, cache: cache}
+	if cache != nil {
+		r.obj = blockcache.NextObject()
+	}
+	return r, nil
 }
 
 // Header returns the container's file header.
@@ -85,10 +97,27 @@ func (r *ReaderAt) blockSpan() int64 {
 	return int64(r.hdr.RawSize) // degenerate single-block container
 }
 
+// rawLen returns the decompressed length block bi must have: BlockSize
+// for every block but the last, the remainder for the last.
+func (r *ReaderAt) rawLen(bi int64) int64 {
+	bs := r.blockSpan()
+	n := int64(r.hdr.RawSize) - bi*bs
+	if n > bs {
+		n = bs
+	}
+	return n
+}
+
 // ReadAt implements io.ReaderAt over the decompressed stream. A read that
 // reaches the end of the stream returns the bytes read and io.EOF, per the
 // io.ReaderAt contract.
 func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	return r.readAtCtx(r.ctx, p, off)
+}
+
+// readAtCtx is ReadAt under an explicit context — the serving layer's
+// entry point, where cancellation is per request rather than per codec.
+func (r *ReaderAt) readAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("gompresso: negative read offset %d", off)
 	}
@@ -112,7 +141,10 @@ func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	errs := make([]error, nb)
 	workers := parallel.Workers(int(nb), r.workers)
 	scratch := make([]*format.DecodeScratch, workers)
-	if r.hdr.Variant == format.VariantBit {
+	// Cached mode leaves scratch nil: on the hot path (hits) it is never
+	// touched, and a miss pulls scratch from the pool inside the decode
+	// closure (cacheBlock) instead of paying per-call round-trips here.
+	if r.hdr.Variant == format.VariantBit && r.cache == nil {
 		for i := range scratch {
 			scratch[i] = format.GetScratch()
 		}
@@ -123,11 +155,15 @@ func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
 		}()
 	}
 	parallel.ForShare(int(nb), r.workers, func(share, k int) {
-		if err := r.ctx.Err(); err != nil {
+		if err := ctx.Err(); err != nil {
 			errs[k] = err
 			return
 		}
-		errs[k] = r.readBlock(p[:want], off, b0+int64(k), scratch[share])
+		if r.cache != nil {
+			errs[k] = r.readBlockCached(ctx, p[:want], off, b0+int64(k))
+		} else {
+			errs[k] = r.readBlock(p[:want], off, b0+int64(k), scratch[share])
+		}
 	})
 	for k, err := range errs {
 		if err != nil {
@@ -152,6 +188,9 @@ var blockBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // compBufPool recycles compressed-record buffers.
 var compBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// rangeBufPool recycles WriteRangeTo's uncached staging buffers.
+var rangeBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 func pooledBuf(pool *sync.Pool, n int) *[]byte {
 	bp := pool.Get().(*[]byte)
 	if cap(*bp) < n {
@@ -166,6 +205,36 @@ func pooledBuf(pool *sync.Pool, n int) *[]byte {
 // fully inside the request decode straight into p; edge blocks decode into
 // a pooled buffer first.
 func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScratch) error {
+	rawStart := bi * r.blockSpan()
+	rawLen := r.rawLen(bi)
+	lo, hi := rawStart, rawStart+rawLen
+	if lo < off {
+		lo = off
+	}
+	if reqHi := off + int64(len(p)); hi > reqHi {
+		hi = reqHi
+	}
+	var dst []byte
+	whole := lo == rawStart && hi == rawStart+rawLen
+	if whole {
+		dst = p[rawStart-off : rawStart-off+rawLen]
+	} else {
+		bp := pooledBuf(&blockBufPool, int(rawLen))
+		defer blockBufPool.Put(bp)
+		dst = *bp
+	}
+	if err := r.decodeBlockInto(dst, bi, sc); err != nil {
+		return err
+	}
+	if !whole {
+		copy(p[lo-off:hi-off], dst[lo-rawStart:hi-rawStart])
+	}
+	return nil
+}
+
+// decodeBlockInto fetches, parses, and decodes block bi into dst, whose
+// length must be the block's expected raw length (rawLen(bi)).
+func (r *ReaderAt) decodeBlockInto(dst []byte, bi int64, sc *format.DecodeScratch) error {
 	start, end := r.idx.Offsets[bi], r.idx.Offsets[bi+1]
 	cp := pooledBuf(&compBufPool, int(end-start))
 	defer compBufPool.Put(cp)
@@ -176,31 +245,9 @@ func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScr
 	if _, err := format.ParseBlock(r.hdr, uint32(bi), *cp, &blk); err != nil {
 		return err
 	}
-	bs := r.blockSpan()
-	rawStart := bi * bs
-	wantLen := int64(r.hdr.RawSize) - rawStart
-	if wantLen > bs {
-		wantLen = bs
-	}
-	if int64(blk.RawLen) != wantLen {
+	if blk.RawLen != len(dst) {
 		return fmt.Errorf("%w: block %d: raw length %d, expected %d",
-			format.ErrFormat, bi, blk.RawLen, wantLen)
-	}
-	lo, hi := rawStart, rawStart+int64(blk.RawLen)
-	if lo < off {
-		lo = off
-	}
-	if reqHi := off + int64(len(p)); hi > reqHi {
-		hi = reqHi
-	}
-	var dst []byte
-	whole := lo == rawStart && hi == rawStart+int64(blk.RawLen)
-	if whole {
-		dst = p[rawStart-off : rawStart-off+int64(blk.RawLen)]
-	} else {
-		bp := pooledBuf(&blockBufPool, blk.RawLen)
-		defer blockBufPool.Put(bp)
-		dst = *bp
+			format.ErrFormat, bi, blk.RawLen, len(dst))
 	}
 	var err error
 	if r.hdr.Variant == format.VariantByte {
@@ -212,8 +259,200 @@ func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScr
 	if err != nil {
 		return fmt.Errorf("gompresso: %w", err)
 	}
-	if !whole {
-		copy(p[lo-off:hi-off], dst[lo-rawStart:hi-rawStart])
-	}
 	return nil
+}
+
+// readBlockCached is readBlock through the shared decoded-block cache:
+// a hit copies straight out of the resident buffer, a miss decodes the
+// whole block once (coalescing with any concurrent request for it,
+// scratch drawn from the package pool inside the decode) and leaves it
+// resident for the next request.
+func (r *ReaderAt) readBlockCached(ctx context.Context, p []byte, off int64, bi int64) error {
+	buf, err := r.cacheBlock(ctx, bi, nil)
+	if err != nil {
+		return err
+	}
+	defer buf.Release()
+	rawStart := bi * r.blockSpan()
+	data := buf.Bytes()
+	lo, hi := rawStart, rawStart+int64(len(data))
+	if lo < off {
+		lo = off
+	}
+	if reqHi := off + int64(len(p)); hi > reqHi {
+		hi = reqHi
+	}
+	copy(p[lo-off:hi-off], data[lo-rawStart:hi-rawStart])
+	return nil
+}
+
+// cacheBlock returns block bi's decoded bytes through the cache, pinned
+// for the caller (Release when done). sc may be nil; the decode then
+// draws scratch from the package pool (the prefetch path).
+func (r *ReaderAt) cacheBlock(ctx context.Context, bi int64, sc *format.DecodeScratch) (*blockcache.Buf, error) {
+	key := blockcache.Key{Object: r.obj, Block: uint32(bi)}
+	return r.cache.GetOrDecode(ctx, key, int(r.rawLen(bi)), func(dst []byte) error {
+		s := sc
+		if s == nil && r.hdr.Variant == format.VariantBit {
+			s = format.GetScratch()
+			defer format.PutScratch(s)
+		}
+		return r.decodeBlockInto(dst, bi, s)
+	})
+}
+
+// WriteRangeTo streams the decompressed byte range [off, off+length) to
+// w under ctx — the serving layer's send path. With a cache attached,
+// blocks are pinned window-parallel (up to the worker budget per
+// window, misses decoding concurrently on the shared pool) and written
+// directly from the shared refcounted buffers — zero copies between
+// decode and the socket; without one it decodes ranges through the
+// same parallel path as ReadAt. The
+// range is clamped to the stream: a range starting at or past the end
+// writes nothing and returns io.EOF, mirroring ReadAt.
+func (r *ReaderAt) WriteRangeTo(ctx context.Context, w io.Writer, off, length int64) (int64, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("gompresso: negative read offset %d", off)
+	}
+	if length < 0 {
+		return 0, fmt.Errorf("gompresso: negative range length %d", length)
+	}
+	if ctx == nil {
+		ctx = r.ctx
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	raw := int64(r.hdr.RawSize)
+	if off >= raw {
+		if length == 0 && off <= raw {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	clamped := false
+	if length > raw-off {
+		length, clamped = raw-off, true
+	}
+	if length == 0 {
+		return 0, nil
+	}
+	var written int64
+	var err error
+	if r.cache != nil {
+		written, err = r.writeRangeCached(ctx, w, off, length)
+	} else {
+		written, err = r.writeRangeDirect(ctx, w, off, length)
+	}
+	if err == nil && clamped {
+		err = io.EOF
+	}
+	return written, err
+}
+
+// writeRangeCached walks the overlapped blocks in windows of up to
+// `workers` blocks: each window pins its blocks through the cache
+// concurrently (hits are instant, misses decode in parallel — the same
+// concurrency the uncached path gets from ForShare), then writes them
+// to w in order. Window memory is bounded by workers × BlockSize, like
+// every other parallel path in the package.
+func (r *ReaderAt) writeRangeCached(ctx context.Context, w io.Writer, off, length int64) (int64, error) {
+	bs := r.blockSpan()
+	b0, bLast := off/bs, (off+length-1)/bs
+	nb := bLast - b0 + 1
+	window := int64(parallel.Workers(int(min(nb, 1<<20)), r.workers))
+	bufs := make([]*blockcache.Buf, window)
+	errs := make([]error, window)
+	var written int64
+	for start := b0; start <= bLast; start += window {
+		end := start + window - 1
+		if end > bLast {
+			end = bLast
+		}
+		// The pool bounds global decode concurrency exactly as it does
+		// for the uncached path; a share that finds the block in flight
+		// elsewhere blocks only on that decode, which always runs
+		// inline on its winning caller, never behind this pool.
+		parallel.ForShare(int(end-start+1), r.workers, func(_, k int) {
+			bufs[k], errs[k] = r.cacheBlock(ctx, start+int64(k), nil)
+		})
+		for bi := start; bi <= end; bi++ {
+			k := bi - start
+			buf, err := bufs[k], errs[k]
+			bufs[k] = nil
+			if err != nil {
+				releaseAll(bufs[k+1:])
+				return written, err
+			}
+			data := buf.Bytes()
+			rawStart := bi * bs
+			lo, hi := rawStart, rawStart+int64(len(data))
+			if lo < off {
+				lo = off
+			}
+			if reqHi := off + length; hi > reqHi {
+				hi = reqHi
+			}
+			n, werr := w.Write(data[lo-rawStart : hi-rawStart])
+			buf.Release()
+			written += int64(n)
+			if werr != nil {
+				releaseAll(bufs[k+1:])
+				return written, werr
+			}
+			// Early-out between blocks only: after the final write the
+			// range has been served in full, and a client that closes
+			// its connection the moment the last byte arrives must not
+			// turn a complete response into a cancellation error.
+			if bi < bLast {
+				if err := ctx.Err(); err != nil {
+					releaseAll(bufs[k+1:])
+					return written, err
+				}
+			}
+		}
+	}
+	return written, nil
+}
+
+// releaseAll unpins any still-held window buffers after an early exit.
+func releaseAll(bufs []*blockcache.Buf) {
+	for i, b := range bufs {
+		if b != nil {
+			b.Release()
+			bufs[i] = nil
+		}
+	}
+}
+
+// writeRangeDirect serves the range without a cache: chunks of blocks
+// decode in parallel through readAtCtx into a pooled buffer, then drain
+// to w.
+func (r *ReaderAt) writeRangeDirect(ctx context.Context, w io.Writer, off, length int64) (int64, error) {
+	bs := r.blockSpan()
+	chunk := 4 * bs
+	if chunk > length {
+		chunk = length
+	}
+	bp := pooledBuf(&rangeBufPool, int(chunk))
+	defer rangeBufPool.Put(bp)
+	var written int64
+	for written < length {
+		n := chunk
+		if n > length-written {
+			n = length - written
+		}
+		m, err := r.readAtCtx(ctx, (*bp)[:n], off+written)
+		if m > 0 {
+			wn, werr := w.Write((*bp)[:m])
+			written += int64(wn)
+			if werr != nil {
+				return written, werr
+			}
+		}
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
 }

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Smoke test for `gompresso serve` (CI: the serve-smoke job; also runs
+# locally from the repo root). Starts the daemon on a fixture directory
+# and checks the acceptance criteria end to end:
+#
+#   - every ranged response is byte-identical to `gompresso cat -offset
+#     -length` (indexed containers) or to a slice of the original bytes
+#     (sequential fallbacks: unindexed containers, .gz),
+#   - /healthz and the stats endpoint respond,
+#   - a repeated hot range shows cache hits > 0 in the stats.
+set -euo pipefail
+
+work=$(mktemp -d)
+srv_pid=""
+cleanup() {
+  [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+bin="$work/gompresso"
+go build -o "$bin" ./cmd/gompresso
+
+# Fixture: a text corpus (the repo's own sources), served three ways.
+root="$work/root"; mkdir "$root"
+cat ./*.go internal/format/*.go internal/deflate/*.go > "$work/corpus.txt"
+size=$(wc -c < "$work/corpus.txt" | tr -d ' ')
+"$bin" compress -index -block 64 "$work/corpus.txt" "$root/corpus.gpz" 2>/dev/null
+"$bin" compress        -block 64 "$work/corpus.txt" "$root/noindex.gpz" 2>/dev/null
+gzip -c "$work/corpus.txt" > "$root/corpus.txt.gz"
+
+# stat must agree with the fixture's shape. (Outputs go through files:
+# grep -q on a pipe SIGPIPEs the producer under pipefail.)
+"$bin" stat -json "$root/corpus.gpz" > "$work/stat.json"
+grep -q '"index": true' "$work/stat.json"
+[ "$(grep raw_size "$work/stat.json" | tr -dc 0-9)" = "$size" ]
+"$bin" stat -json "$root/noindex.gpz" > "$work/stat2.json"
+grep -q '"index": false' "$work/stat2.json"
+
+addr=127.0.0.1:18427
+"$bin" serve -addr "$addr" -root "$root" -cache 16 -quiet 2>"$work/serve.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+[ "$(curl -sf "http://$addr/healthz")" = "ok" ]
+
+# check_range <object> <curl-range-spec> <offset> <length>: the ranged
+# response must equal `gompresso cat -offset -length` on the same object.
+check_range() {
+  curl -sf -H "Range: bytes=$2" "http://$addr/$1" > "$work/got"
+  "$bin" cat -offset "$3" -length "$4" "$root/$1" > "$work/want"
+  cmp "$work/got" "$work/want" || { echo "FAIL: $1 range $2 differs from cat -offset $3 -length $4"; exit 1; }
+}
+
+# Indexed container: interior, multi-block (block size is 64 KiB),
+# open-ended, and suffix ranges. The multi-block bound derives from the
+# corpus size so it stays interior as the fixture grows or shrinks.
+mid=$((size * 3 / 4))
+check_range corpus.gpz "0-999"            0              1000
+check_range corpus.gpz "65530-65600"      65530          71
+check_range corpus.gpz "10000-$mid"       10000          $((mid - 10000 + 1))
+check_range corpus.gpz "$((size-500))-"   "$((size-500))" 500
+check_range corpus.gpz "-1234"            "$((size-1234))" 1234
+
+# Sequential fallbacks: ranges against slices of the original bytes.
+check_seq() {
+  curl -sf -H "Range: bytes=$2-$(($2+$3-1))" "http://$addr/$1" > "$work/got"
+  tail -c "+$(($2+1))" "$work/corpus.txt" > "$work/tail"
+  head -c "$3" "$work/tail" > "$work/want"
+  cmp "$work/got" "$work/want" || { echo "FAIL: $1 fallback range at $2+$3"; exit 1; }
+}
+check_seq noindex.gpz   12345 70000
+check_seq corpus.txt.gz 12345 70000
+
+# Full bodies, all three objects, against `cat`.
+for obj in corpus.gpz noindex.gpz corpus.txt.gz; do
+  curl -sf "http://$addr/$obj" > "$work/got"
+  "$bin" cat "$root/$obj" > "$work/want"
+  cmp "$work/got" "$work/want" || { echo "FAIL: $obj full body differs from cat"; exit 1; }
+done
+
+# HEAD: decompressed Content-Length, no body.
+[ "$(curl -sfI "http://$addr/corpus.gpz" | tr -d '\r' | awk '/^Content-Length:/{print $2}')" = "$size" ]
+
+# 416 for an unsatisfiable range.
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "Range: bytes=$size-" "http://$addr/corpus.gpz")
+[ "$code" = "416" ] || { echo "FAIL: want 416, got $code"; exit 1; }
+
+# Hot range: repeat, then the stats endpoint must show cache hits > 0.
+for _ in 1 2 3; do
+  curl -sf -H "Range: bytes=1000-2000" "http://$addr/corpus.gpz" > /dev/null
+done
+curl -sf "http://$addr/metrics?format=json" > "$work/metrics.json"
+hits=$(grep -o '"cache_hits_total": [0-9]*' "$work/metrics.json" | tr -dc 0-9)
+[ "${hits:-0}" -gt 0 ] || { echo "FAIL: cache_hits_total = ${hits:-0} after hot range"; cat "$work/metrics.json"; exit 1; }
+grep -q '"requests_total"' "$work/metrics.json"
+curl -sf "http://$addr/metrics" > "$work/metrics.txt"
+grep -q '^cache_hit_rate ' "$work/metrics.txt"
+
+echo "serve smoke: OK (size=$size, cache_hits=$hits)"
