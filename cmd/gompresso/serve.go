@@ -13,13 +13,15 @@ import (
 	"syscall"
 	"time"
 
+	"gompresso/internal/fault"
 	"gompresso/internal/server"
 )
 
 // serveCmd runs the HTTP object-serving daemon: every file under -root
 // is exposed at its path with Range/If-Range/HEAD semantics over the
 // decompressed stream, hot blocks shared through the decoded-block
-// cache, and /healthz + /metrics for operations. See internal/server.
+// cache, and /healthz, /readyz + /metrics for operations. See
+// internal/server.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -28,6 +30,15 @@ func serveCmd(args []string) error {
 	workers := fs.Int("workers", 0, "decode worker budget shared by all requests (0 = GOMAXPROCS)")
 	readahead := fs.Int("readahead", 0, "pipeline readahead in blocks (0 = 2x workers)")
 	maxInFlight := fs.Int("max-inflight", 0, "max requests decoding concurrently (0 = 4x GOMAXPROCS)")
+	queueWait := fs.Duration("queue-wait", 5*time.Second, "max time a request queues on the limiter before a 503 shed (negative = wait forever)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request decode deadline (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "rolling per-write deadline on response bodies (0 disables)")
+	quarTTL := fs.Duration("quarantine-ttl", 30*time.Second, "how long a corrupt object fails fast with 502 before re-probing (negative disables)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server full-request read timeout")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "http.Server keep-alive idle timeout")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight responses")
+	drainWait := fs.Duration("drain-wait", 0, "pause between flipping /readyz unready and starting shutdown (lets load balancers catch up)")
+	faultSpec := fs.String("fault", "", "DEV ONLY: fault-injection script, e.g. '*.gz:eio@4096;big*:latency=50ms' (see internal/fault)")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -38,14 +49,27 @@ func serveCmd(args []string) error {
 	if *quiet {
 		logf = nil
 	}
-	s, err := server.New(server.Options{
-		Root:        *root,
-		CacheBytes:  *cacheMB << 20,
-		Workers:     *workers,
-		Readahead:   *readahead,
-		MaxInFlight: *maxInFlight,
-		Logf:        logf,
-	})
+	opts := server.Options{
+		Root:           *root,
+		CacheBytes:     *cacheMB << 20,
+		Workers:        *workers,
+		Readahead:      *readahead,
+		MaxInFlight:    *maxInFlight,
+		QueueWait:      *queueWait,
+		RequestTimeout: *reqTimeout,
+		WriteTimeout:   *writeTimeout,
+		QuarantineTTL:  *quarTTL,
+		Logf:           logf,
+	}
+	if *faultSpec != "" {
+		script, err := fault.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		logger.Printf("FAULT INJECTION ACTIVE: %s", script)
+		opts.Source = server.NewFaultSource(server.NewDirSource(*root), script)
+	}
+	s, err := server.New(opts)
 	if err != nil {
 		return err
 	}
@@ -56,11 +80,17 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	logger.Printf("listening on http://%s root=%s cache=%dMiB", ln.Addr(), *root, *cacheMB)
 
-	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, give
-	// in-flight responses a grace period, then cut them off.
+	// Graceful shutdown: flip /readyz so load balancers stop routing,
+	// wait out -drain-wait for them to notice, stop accepting, give
+	// in-flight responses the -drain grace period, then cut them off.
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	sigc := make(chan os.Signal, 1)
@@ -69,8 +99,12 @@ func serveCmd(args []string) error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		logger.Printf("%v: shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		logger.Printf("%v: draining", sig)
+		s.BeginDrain()
+		if *drainWait > 0 {
+			time.Sleep(*drainWait)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err

@@ -23,6 +23,8 @@ package blockcache
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -268,12 +270,27 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// runDecode executes a decode callback with panic isolation: a panicking
+// decoder becomes an error instead of unwinding past the singleflight
+// bookkeeping. Without this, a panic would strand the in-flight call
+// entry and every waiter joined to it would block forever — one corrupt
+// object taking down not just its own request but every request that
+// coalesced behind it.
+func runDecode(decode func(dst []byte) error, dst []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("blockcache: decode panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return decode(dst)
+}
+
 // decodeAndInsert runs the decode as the singleflight winner, publishes
 // the result to waiters, and inserts the entry into the LRU.
 func (c *Cache) decodeAndInsert(sh *shard, key Key, size int, decode func(dst []byte) error, cl *call) (*Buf, error) {
 	c.inflight.Add(1)
 	buf := c.getBuf(size)
-	err := decode(buf.data)
+	err := runDecode(decode, buf.data)
 	c.inflight.Add(-1)
 
 	sh.mu.Lock()
@@ -324,6 +341,36 @@ func (c *Cache) evict(sh *shard) {
 		c.evictions.Add(1)
 		lru.buf.Release() // cache's reference; readers may still hold theirs
 	}
+}
+
+// ForgetObject drops every resident entry keyed under obj — called when
+// a served object is retired (replaced on disk, evicted from a registry,
+// or quarantined after a decode failure), so its dead blocks stop
+// crowding live ones out of the budget instead of aging out of the LRU.
+// Buffers pinned by in-flight readers survive until their last Release;
+// in-flight decodes are untouched (their entries simply insert and age
+// out normally). Returns the number of entries dropped.
+func (c *Cache) ForgetObject(obj uint64) int {
+	dropped := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			if key.Object != obj {
+				continue
+			}
+			sh.unlink(e)
+			delete(sh.entries, key)
+			sh.bytes -= int64(len(e.buf.data))
+			c.entries.Add(-1)
+			c.bytes.Add(-int64(len(e.buf.data)))
+			c.evictions.Add(1)
+			e.buf.Release()
+			dropped++
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
 }
 
 // Stats snapshots the cache counters. It takes no locks — every value

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -357,5 +358,120 @@ func TestConcurrentStress(t *testing.T) {
 	}
 	if s.Evictions == 0 {
 		t.Fatalf("demand 2x budget but no evictions: %+v", s)
+	}
+}
+
+// A panicking decode must surface as an error — to the winner AND to
+// every coalesced waiter — never strand the singleflight entry, and
+// never poison the cache.
+func TestDecodePanicIsolated(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	k := Key{Object: NextObject(), Block: 1}
+
+	var started sync.WaitGroup
+	started.Add(1)
+	release := make(chan struct{})
+	winnerErr := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrDecode(ctx, k, 64, func([]byte) error {
+			started.Done()
+			<-release
+			panic("decoder exploded")
+		})
+		winnerErr <- err
+	}()
+	started.Wait()
+
+	// A waiter joins the in-flight decode before the panic fires.
+	waiterErr := make(chan error, 1)
+	go func() {
+		for {
+			if c.Stats().Coalesced > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		waiterErr <- nil
+	}()
+	joined := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrDecode(ctx, k, 64, fill(1))
+		joined <- err
+	}()
+	<-waiterErr
+	close(release)
+
+	for i, ch := range []chan error{winnerErr, joined} {
+		select {
+		case err := <-ch:
+			if err == nil || !strings.Contains(err.Error(), "decode panicked") {
+				t.Fatalf("caller %d: err = %v, want decode-panicked error", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("caller %d wedged after decode panic", i)
+		}
+	}
+	// The panic was not cached; a retry decodes cleanly.
+	b, err := c.GetOrDecode(ctx, k, 64, fill(9))
+	if err != nil || b.Bytes()[0] != 9 {
+		t.Fatalf("post-panic decode: %v", err)
+	}
+	b.Release()
+	if s := c.Stats(); s.InFlight != 0 {
+		t.Fatalf("inflight stuck at %d after panic", s.InFlight)
+	}
+}
+
+func TestForgetObject(t *testing.T) {
+	c := New(64 << 20)
+	ctx := context.Background()
+	objA, objB := NextObject(), NextObject()
+	for blk := uint32(0); blk < 8; blk++ {
+		for _, obj := range []uint64{objA, objB} {
+			b, err := c.GetOrDecode(ctx, Key{Object: obj, Block: blk}, 128, fill(byte(blk)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Release()
+		}
+	}
+	// Pin one of A's buffers across the forget: its bytes must survive.
+	pinned, err := c.GetOrDecode(ctx, Key{Object: objA, Block: 0}, 128, fill(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := c.ForgetObject(objA); n != 8 {
+		t.Fatalf("ForgetObject dropped %d entries, want 8", n)
+	}
+	if s := c.Stats(); s.Entries != 8 || s.Bytes != 8*128 {
+		t.Fatalf("stats after forget: %+v", s)
+	}
+	if pinned.Bytes()[0] != 0 || len(pinned.Bytes()) != 128 {
+		t.Fatal("pinned buffer damaged by ForgetObject")
+	}
+	pinned.Release()
+
+	// A's blocks are gone (a get decodes again); B's are resident.
+	decoded := false
+	b, err := c.GetOrDecode(ctx, Key{Object: objA, Block: 3}, 128, func(dst []byte) error {
+		decoded = true
+		return fill(3)(dst)
+	})
+	if err != nil || !decoded {
+		t.Fatalf("forgotten block still resident (err=%v)", err)
+	}
+	b.Release()
+	b, err = c.GetOrDecode(ctx, Key{Object: objB, Block: 3}, 128, func([]byte) error {
+		t.Fatal("B's entry was dropped by ForgetObject(A)")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	if n := c.ForgetObject(objA); n != 1 {
+		t.Fatalf("second forget dropped %d, want 1 (the re-decoded block)", n)
 	}
 }

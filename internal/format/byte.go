@@ -101,7 +101,7 @@ type ParsedSeq struct {
 func ParseSeqByte(payload []byte, off int) (ParsedSeq, int, error) {
 	var p ParsedSeq
 	if off >= len(payload) {
-		return p, 0, fmt.Errorf("format: sequence header past end (off %d)", off)
+		return p, 0, errCorrupt("sequence header past end (off %d)", off)
 	}
 	start := off
 	tok := payload[off]
@@ -124,18 +124,18 @@ func ParseSeqByte(payload []byte, off int) (ParsedSeq, int, error) {
 	var offset uint32
 	if matchLen > 0 {
 		if off+2 > len(payload) {
-			return p, 0, fmt.Errorf("format: truncated offset at %d", off)
+			return p, 0, errCorrupt("truncated offset at %d", off)
 		}
 		offset = uint32(binary.LittleEndian.Uint16(payload[off:]))
 		off += 2
 		if offset == 0 {
-			return p, 0, fmt.Errorf("format: zero offset at %d", start)
+			return p, 0, errCorrupt("zero offset at %d", start)
 		}
 	}
 	p.Cost = off - start
 	p.LitOff = off
 	if off+int(litLen) > len(payload) {
-		return p, 0, fmt.Errorf("format: truncated literals at %d", off)
+		return p, 0, errCorrupt("truncated literals at %d", off)
 	}
 	off += int(litLen)
 	p.Seq = lz77.Seq{LitLen: litLen, MatchLen: matchLen, Offset: offset}
@@ -146,7 +146,7 @@ func parseExt(payload []byte, off int, base uint32) (uint32, int, error) {
 	v := base
 	for {
 		if off >= len(payload) {
-			return 0, 0, fmt.Errorf("format: truncated length extension at %d", off)
+			return 0, 0, errCorrupt("truncated length extension at %d", off)
 		}
 		b := payload[off]
 		off++
@@ -172,7 +172,7 @@ func DecodeByte(payload []byte, numSeqs, rawLen int) (*lz77.TokenStream, error) 
 		off = next
 	}
 	if off != len(payload) {
-		return nil, fmt.Errorf("format: %d trailing payload bytes", len(payload)-off)
+		return nil, errCorrupt("%d trailing payload bytes", len(payload)-off)
 	}
 	return ts, nil
 }

@@ -124,14 +124,14 @@ func (b *BitBlock) DecodeBitInto(dst []byte, sc *DecodeScratch) error {
 	// validity branch; the once-per-sequence check after the loop catches it.
 	sc.lit, err = huffman.FillTable(sc.lit, b.LitLenLengths, litBits, entryLenFlag, packLitLen)
 	if err != nil {
-		return fmt.Errorf("format: literal/length tree: %w", err)
+		return errCorrupt("literal/length tree: %v", err)
 	}
 	var offTab []uint32
 	var offMask uint64
 	if anyNonZero(b.OffLengths) {
 		sc.off, err = huffman.FillTable(sc.off, b.OffLengths, maxTreeBits(b.OffLengths), 0, packOff)
 		if err != nil {
-			return fmt.Errorf("format: offset tree: %w", err)
+			return errCorrupt("offset tree: %v", err)
 		}
 		offTab, offMask = sc.off, uint64(len(sc.off)-1)
 	}

@@ -48,6 +48,79 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// Histogram records durations (or any non-negative values) into
+// log-spaced buckets and reports approximate quantiles. Observations
+// are a single atomic add on the request path; quantile extraction
+// walks the buckets at scrape time. Bucket i covers [2^i, 2^(i+1))
+// units, so with nanosecond observations the relative error is a
+// factor of two — plenty for "did p99 blow up" dashboards.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [64]atomic.Int64
+}
+
+// Observe records one value. Non-positive values land in bucket 0.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+	h.buckets[bucketFor(v)].Add(1)
+}
+
+func bucketFor(v int64) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1)
+// of everything observed so far, or 0 with no observations. The bound
+// is the top of the bucket holding the q-th sample, so it is at most
+// 2x the true value.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return int64(1) << uint(i+1)
+		}
+	}
+	return int64(1) << 62
+}
+
+// Histogram registers a histogram under name, exposing
+// name_count, name_sum, and name_{p50,p95,p99} samplers.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.register(name+"_count", help+" (observations)", func() float64 { return float64(h.count.Load()) })
+	r.register(name+"_sum", help+" (sum)", func() float64 { return float64(h.sum.Load()) })
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		q := q
+		r.register(name+"_"+q.label, help+" ("+q.label+", upper bound)",
+			func() float64 { return float64(h.Quantile(q.q)) })
+	}
+	return h
+}
+
 // metric is one registered name with its sampler.
 type metric struct {
 	name   string

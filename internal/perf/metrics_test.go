@@ -103,3 +103,49 @@ func TestRegistryReplaceAndConcurrency(t *testing.T) {
 		t.Fatalf("counter = %d", c.Load())
 	}
 }
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_ns", "request latency")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d", got)
+	}
+	// 99 fast observations around 1000, one slow outlier at 1<<20.
+	for i := 0; i < 99; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1 << 20)
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Bucket bounds are powers of two: 1000 lands in [512,1024) → bound 1024.
+	if p50 := h.Quantile(0.50); p50 != 1024 {
+		t.Fatalf("p50 = %d, want 1024", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 != 1024 {
+		t.Fatalf("p95 = %d, want 1024", p95)
+	}
+	// The outlier is exactly the 100th sample: p99 rank 99 is still fast,
+	// p100 (q=1) must see it.
+	if p100 := h.Quantile(1); p100 != 1<<21 {
+		t.Fatalf("p100 = %d, want %d", p100, 1<<21)
+	}
+	// The registry exposes derived samplers.
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"req_ns_count 100", "req_ns_p50 1024", "req_ns_p99 "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Non-positive observations count but go to bucket zero.
+	h2 := Histogram{}
+	h2.Observe(0)
+	h2.Observe(-5)
+	if h2.Count() != 2 || h2.Quantile(0.5) != 2 {
+		t.Fatalf("zero-bucket handling: count=%d q=%d", h2.Count(), h2.Quantile(0.5))
+	}
+}

@@ -18,9 +18,18 @@
 // budget — and a concurrency limiter bounds how many are actively
 // decoding, so a burst of N requests cannot oversubscribe the pool.
 // Each request's context cancels its decode pipeline when the client
-// disconnects. /healthz answers liveness; /metrics exposes request,
-// byte, and cache-effectiveness counters (Prometheus-style text, or
-// JSON with ?format=json).
+// disconnects.
+//
+// Failure domains (PR 6): objects are read through a Source seam
+// (fault-injectable in tests and dev runs); requests carry an optional
+// decode deadline and rolling write deadlines; the limiter sheds
+// queued requests with 503 + Retry-After after a bounded wait; a
+// panicking handler answers 500 and the process survives; and an
+// object whose bytes prove corrupt is quarantined — repeat requests
+// fail fast with 502 until a TTL passes or the file changes. /healthz
+// answers liveness, /readyz readiness (503 once draining); /metrics
+// exposes request, byte, failure, and cache-effectiveness counters
+// (Prometheus-style text, or JSON with ?format=json).
 package server
 
 import (
@@ -28,19 +37,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"mime"
 	"net/http"
 	"os"
 	"path"
-	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gompresso"
+	"gompresso/internal/deflate"
 	"gompresso/internal/format"
+	"gompresso/internal/lz77"
 	"gompresso/internal/perf"
 )
 
@@ -58,9 +70,35 @@ type Options struct {
 	// Readahead is the streaming pipelines' readahead bound (0 = 2×Workers).
 	Readahead int
 	// MaxInFlight bounds the requests concurrently inside the decode
-	// section; excess requests queue until a slot frees or the client
-	// gives up. 0 selects 4×GOMAXPROCS.
+	// section; excess requests queue until a slot frees, the client
+	// gives up, or QueueWait elapses (shed with 503). 0 selects
+	// 4×GOMAXPROCS.
 	MaxInFlight int
+	// QueueWait bounds how long an admitted-but-queued request waits on
+	// the concurrency limiter before the server sheds it with
+	// 503 + Retry-After. 0 selects 5s; negative waits forever (the
+	// pre-hardening behavior).
+	QueueWait time.Duration
+	// RequestTimeout bounds one request's decode work: the request
+	// context gets this deadline on entry to the decode section, so a
+	// pathological object cannot pin a limiter slot indefinitely.
+	// 0 disables.
+	RequestTimeout time.Duration
+	// WriteTimeout is a rolling per-write deadline on the response body
+	// (via http.ResponseController), so a stalled client cannot pin
+	// worker buffers: each body write must complete within this window.
+	// 0 disables.
+	WriteTimeout time.Duration
+	// QuarantineTTL is how long a decode-corrupt object stays
+	// quarantined — requests fail fast with 502 instead of re-burning a
+	// decode — before the server re-probes it. A changed file (size or
+	// mtime) clears the entry immediately. 0 selects 30s; negative
+	// disables quarantining.
+	QuarantineTTL time.Duration
+	// Source overrides where objects are read from. nil selects the
+	// directory tree at Root; tests and the dev -fault flag inject a
+	// fault-wrapped source here.
+	Source Source
 	// Logf, when set, receives one line per completed request.
 	Logf func(format string, args ...any)
 }
@@ -69,22 +107,52 @@ type Options struct {
 // an http.Handler factory (Handler), not a listener — the caller owns
 // the http.Server and its lifecycle.
 type Server struct {
-	root  string
+	src   Source
 	codec *gompresso.Codec
 	sem   chan struct{}
 	logf  func(string, ...any)
 
+	queueWait      time.Duration
+	requestTimeout time.Duration
+	writeTimeout   time.Duration
+	quarTTL        time.Duration // <= 0 means quarantine disabled
+
+	// ready is true from construction until BeginDrain; /readyz keys
+	// off it so load balancers stop routing before Shutdown closes
+	// connections.
+	ready atomic.Bool
+
 	mu      sync.Mutex
 	objects map[string]*object
+
+	quarMu sync.Mutex
+	quar   map[string]*quarEntry
 
 	reg       *perf.Registry
 	mRequests *perf.Counter
 	mRanges   *perf.Counter
 	mErrors   *perf.Counter
 	mBytes    *perf.Counter
+	mShed     *perf.Counter
+	mPanics   *perf.Counter
+	mQuar     *perf.Counter
+	mQuarHits *perf.Counter
+	mSeqDec   *perf.Counter
+	mRetries  *perf.Counter
 	gInFlight *perf.Gauge
 	gWaiting  *perf.Gauge
 	gDecoding *perf.Gauge
+	hLatency  *perf.Histogram
+}
+
+// quarEntry is one quarantined object: requests for name with matching
+// validators fail fast with 502 until the TTL expires or the file
+// changes.
+type quarEntry struct {
+	until  time.Time
+	fsize  int64
+	mtime  time.Time
+	reason string
 }
 
 // object is one resolved file under the root, cached across requests so
@@ -92,7 +160,7 @@ type Server struct {
 // once. Validators (size+mtime) staleness-check it on every request.
 type object struct {
 	name  string
-	file  *os.File
+	file  File
 	fsize int64
 	mtime time.Time
 	etag  string
@@ -131,12 +199,15 @@ const maxOpenObjects = 512
 // New builds a Server over root. The codec — worker pool, readahead,
 // decoded-block cache — is constructed here and shared by every request.
 func New(o Options) (*Server, error) {
-	st, err := os.Stat(o.Root)
-	if err != nil {
-		return nil, fmt.Errorf("server: root: %w", err)
-	}
-	if !st.IsDir() {
-		return nil, fmt.Errorf("server: root %q is not a directory", o.Root)
+	if o.Source == nil {
+		st, err := os.Stat(o.Root)
+		if err != nil {
+			return nil, fmt.Errorf("server: root: %w", err)
+		}
+		if !st.IsDir() {
+			return nil, fmt.Errorf("server: root %q is not a directory", o.Root)
+		}
+		o.Source = NewDirSource(o.Root)
 	}
 	if o.MaxInFlight < 0 {
 		return nil, fmt.Errorf("server: negative MaxInFlight %d", o.MaxInFlight)
@@ -148,6 +219,12 @@ func New(o Options) (*Server, error) {
 	}
 	if o.MaxInFlight == 0 {
 		o.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.QueueWait == 0 {
+		o.QueueWait = 5 * time.Second
+	}
+	if o.QuarantineTTL == 0 {
+		o.QuarantineTTL = 30 * time.Second
 	}
 	copts := []gompresso.Option{
 		gompresso.WithWorkers(o.Workers),
@@ -161,13 +238,19 @@ func New(o Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		root:    o.Root,
-		codec:   codec,
-		sem:     make(chan struct{}, o.MaxInFlight),
-		logf:    o.Logf,
-		objects: make(map[string]*object),
-		reg:     perf.NewRegistry(),
+		src:            o.Source,
+		codec:          codec,
+		sem:            make(chan struct{}, o.MaxInFlight),
+		logf:           o.Logf,
+		queueWait:      o.QueueWait,
+		requestTimeout: o.RequestTimeout,
+		writeTimeout:   o.WriteTimeout,
+		quarTTL:        o.QuarantineTTL,
+		objects:        make(map[string]*object),
+		quar:           make(map[string]*quarEntry),
+		reg:            perf.NewRegistry(),
 	}
+	s.ready.Store(true)
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
 	}
@@ -178,6 +261,18 @@ func New(o Options) (*Server, error) {
 	s.gInFlight = s.reg.Gauge("inflight_requests", "object requests inside the decode section now")
 	s.gWaiting = s.reg.Gauge("waiting_requests", "object requests queued on the concurrency limiter now")
 	s.gDecoding = s.reg.Gauge("inflight_sequential_decodes", "sequential fallback decodes running now")
+	s.mShed = s.reg.Counter("shed_total", "requests shed with 503 after waiting QueueWait on the limiter")
+	s.mPanics = s.reg.Counter("panics_total", "request handlers that panicked (answered 500, process survived)")
+	s.mQuar = s.reg.Counter("quarantined_total", "objects quarantined after a corrupt decode")
+	s.mQuarHits = s.reg.Counter("quarantine_hits_total", "requests failed fast with 502 by a quarantine entry")
+	s.mSeqDec = s.reg.Counter("sequential_decodes_total", "sequential fallback decodes started (counting or serving)")
+	s.mRetries = s.reg.Counter("source_retries_total", "transient source-read errors retried on the sequential path")
+	s.hLatency = s.reg.Histogram("request_latency_ns", "object request wall time in nanoseconds")
+	s.reg.Func("quarantined_objects", "quarantine entries currently active", func() float64 {
+		s.quarMu.Lock()
+		defer s.quarMu.Unlock()
+		return float64(len(s.quar))
+	})
 	s.reg.Func("objects_open", "distinct objects resolved and cached", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -211,6 +306,15 @@ func New(o Options) (*Server, error) {
 // inspecting cache behavior).
 func (s *Server) Codec() *gompresso.Codec { return s.codec }
 
+// BeginDrain flips /readyz to 503 so load balancers stop routing here.
+// Call it before http.Server.Shutdown; in-flight and already-routed
+// requests still complete (/healthz stays 200 — the process is alive,
+// just leaving the pool).
+func (s *Server) BeginDrain() { s.ready.Store(false) }
+
+// Ready reports whether the server is accepting routed traffic.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
 // Handler returns the server's HTTP handler: /healthz, /metrics, and
 // every other path an object request.
 func (s *Server) Handler() http.Handler {
@@ -218,6 +322,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
@@ -232,11 +345,16 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusWriter records the response status and body byte count.
+// statusWriter records the response status and body byte count, and —
+// when a write timeout is configured — pushes a rolling write deadline
+// ahead of every body write so a stalled client errors out of the send
+// loop instead of pinning worker buffers for the connection's lifetime.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int64
+	rc           *http.ResponseController
+	writeTimeout time.Duration
+	status       int
+	bytes        int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -250,21 +368,50 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
+	if w.writeTimeout > 0 {
+		// Unsupported writers (test recorders, exotic middleware) are
+		// fine: the deadline is a bound, not a guarantee.
+		w.rc.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+	}
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
 }
 
-// serveObject handles one GET/HEAD object request end to end.
+// serveObject handles one GET/HEAD object request end to end: panic
+// isolation, accounting, and the rolling write deadline's reset.
 func (s *Server) serveObject(rw http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
-	w := &statusWriter{ResponseWriter: rw}
+	w := &statusWriter{
+		ResponseWriter: rw,
+		rc:             http.NewResponseController(rw),
+		writeTimeout:   s.writeTimeout,
+	}
 	start := time.Now()
+	defer func() {
+		if v := recover(); v != nil {
+			// A decode or handler bug takes down this request, not the
+			// process. If the status line is unsent we can still answer
+			// 500; otherwise the truncated body tells the client.
+			s.mPanics.Inc()
+			s.mErrors.Inc()
+			if w.status == 0 {
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+			s.logf("%s %s PANIC %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+		}
+		if w.writeTimeout > 0 {
+			// Clear the rolling deadline so it cannot shoot down the
+			// next request on a keep-alive connection.
+			w.rc.SetWriteDeadline(time.Time{})
+		}
+		s.mBytes.Add(w.bytes)
+		s.hLatency.Observe(time.Since(start).Nanoseconds())
+	}()
 	err := s.serve(w, r)
 	if err != nil || w.status >= 400 {
 		s.mErrors.Inc()
 	}
-	s.mBytes.Add(w.bytes)
 	s.logf("%s %s %d %dB %v err=%v", r.Method, r.URL.Path, w.status, w.bytes, time.Since(start).Round(time.Microsecond), err)
 }
 
@@ -311,15 +458,33 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 
 	// The decode section: everything below may decode blocks, so it
 	// runs inside the concurrency limiter. Waiters give up when the
-	// client does.
+	// client does, and are shed with 503 once they have queued for
+	// queueWait — bounded waits, not silent backlog.
 	ctx := r.Context()
+	if s.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
+		defer cancel()
+	}
+	var shedC <-chan time.Time
+	if s.queueWait > 0 {
+		t := time.NewTimer(s.queueWait)
+		defer t.Stop()
+		shedC = t.C
+	}
 	s.gWaiting.Inc()
 	select {
 	case s.sem <- struct{}{}:
 		s.gWaiting.Dec()
+	case <-shedC:
+		s.gWaiting.Dec()
+		s.mShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
+		return nil
 	case <-ctx.Done():
 		s.gWaiting.Dec()
-		return ctx.Err()
+		return s.answerCtxErr(w, ctx.Err())
 	}
 	defer func() { <-s.sem }()
 	s.gInFlight.Inc()
@@ -327,7 +492,18 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 
 	size, err := s.objSize(ctx, obj)
 	if err != nil {
-		http.Error(w, "cannot determine object size", http.StatusInternalServerError)
+		switch {
+		case ctx.Err() != nil:
+			return s.answerCtxErr(w, err)
+		case s.maybeQuarantine(obj, err):
+			http.Error(w, "object corrupt", http.StatusBadGateway)
+		case isCorrupt(err):
+			http.Error(w, "object corrupt", http.StatusBadGateway)
+		default:
+			// A read-path failure (EIO, truncated file): the backend is
+			// unhealthy for this object, not the server.
+			http.Error(w, "cannot read object", http.StatusBadGateway)
+		}
 		return err
 	}
 
@@ -367,6 +543,23 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 	}
 	// The status line is gone; a decode or write failure here can only
 	// abort the connection (the byte count mismatch tells the client).
+	// Corruption discovered mid-send still quarantines the object, so
+	// the next request fails fast with a clean 502.
+	if err != nil {
+		s.maybeQuarantine(obj, err)
+	}
+	return err
+}
+
+// answerCtxErr maps a context error to a response, when one can still
+// be sent. Deadline expiry is the server's own request timeout — answer
+// 503 so the client knows to retry; cancellation means the client is
+// gone and nothing we write matters.
+func (s *Server) answerCtxErr(w *statusWriter, err error) error {
+	if errors.Is(err, context.DeadlineExceeded) && w.status == 0 {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "request timed out", http.StatusServiceUnavailable)
+	}
 	return err
 }
 
@@ -379,10 +572,16 @@ func (s *Server) open(urlPath string) (*object, error) {
 	if name == "" || name == "." {
 		return nil, errf(http.StatusNotFound, "not found")
 	}
-	full := filepath.Join(s.root, filepath.FromSlash(name))
-	st, err := os.Stat(full)
+	st, err := s.src.Stat(name)
 	if err != nil || st.IsDir() {
 		return nil, errf(http.StatusNotFound, "not found")
+	}
+
+	// Quarantine fast path: a known-corrupt generation answers 502
+	// immediately — no open, no limiter slot, no decode.
+	if reason, bad := s.quarantined(name, st); bad {
+		s.mQuarHits.Inc()
+		return nil, errf(http.StatusBadGateway, "object quarantined: %s", reason)
 	}
 
 	now := time.Now()
@@ -395,7 +594,7 @@ func (s *Server) open(urlPath string) (*object, error) {
 	}
 	s.mu.Unlock()
 
-	f, err := os.Open(full)
+	f, err := s.src.Open(name)
 	if err != nil {
 		if os.IsNotExist(err) || os.IsPermission(err) {
 			return nil, errf(http.StatusNotFound, "not found")
@@ -473,9 +672,14 @@ func (s *Server) release(obj *object) {
 
 // resolve sniffs the file's format and builds the serving state: a
 // ReaderAt for indexed native containers, sequential metadata otherwise.
-func (s *Server) resolve(name string, f *os.File, st os.FileInfo) (*object, error) {
+func (s *Server) resolve(name string, f File, st os.FileInfo) (*object, error) {
 	head := make([]byte, 4)
-	n, _ := f.ReadAt(head, 0)
+	n, err := f.ReadAt(head, 0)
+	if n == 0 && err != nil && err != io.EOF {
+		// Could not read a single byte: a backend fault, not a format
+		// problem — the client should see 502, not 415.
+		return nil, errf(http.StatusBadGateway, "cannot read object: %v", err)
+	}
 	form := gompresso.DetectFormat(head[:n])
 	if form == gompresso.FormatAuto {
 		return nil, errf(http.StatusUnsupportedMediaType,
@@ -494,6 +698,9 @@ func (s *Server) resolve(name string, f *os.File, st os.FileInfo) (*object, erro
 	if form == gompresso.FormatGompresso {
 		hdr, err := readHeader(f)
 		if err != nil {
+			if !isCorrupt(err) {
+				return nil, errf(http.StatusBadGateway, "cannot read object: %v", err)
+			}
 			return nil, errf(http.StatusUnsupportedMediaType, "malformed container: %v", err)
 		}
 		obj.rawSize.Store(int64(hdr.RawSize))
@@ -512,12 +719,85 @@ func (s *Server) resolve(name string, f *os.File, st os.FileInfo) (*object, erro
 }
 
 // readHeader parses the container file header from the start of f.
-func readHeader(f *os.File) (format.FileHeader, error) {
+func readHeader(f io.ReaderAt) (format.FileHeader, error) {
 	head := make([]byte, format.HeaderSize)
 	if _, err := f.ReadAt(head, 0); err != nil {
 		return format.FileHeader{}, err
 	}
 	return format.ParseHeader(head)
+}
+
+// isCorrupt classifies a decode error as data corruption — the object
+// itself is bad, and will stay bad on retry — as opposed to a
+// transient read failure or cancellation. The typed errors come from
+// the decode stack: deflate.Error (foreign streams), format.ErrFormat
+// (container structure), lz77.ErrCorrupt (block payloads), and the
+// format sniffer's ErrUnknownFormat.
+func isCorrupt(err error) bool {
+	var de *deflate.Error
+	return errors.As(err, &de) ||
+		errors.Is(err, format.ErrFormat) ||
+		errors.Is(err, lz77.ErrCorrupt) ||
+		errors.Is(err, gompresso.ErrUnknownFormat)
+}
+
+// isTransient reports whether a sequential-path error is worth an
+// in-request retry: read-path failures that are neither corruption
+// (retry cannot help) nor cancellation (nobody is waiting).
+func isTransient(err error) bool {
+	return err != nil && !isCorrupt(err) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// maybeQuarantine records a TTL'd negative entry for obj when err says
+// its bytes are corrupt, so repeat requests fail fast with 502 instead
+// of re-burning a decode. Returns whether it quarantined. The entry is
+// keyed to the object's validators: a rewritten file clears it on the
+// next request, and the resolution (plus any cached blocks) is dropped
+// so nothing suspect survives in memory.
+func (s *Server) maybeQuarantine(obj *object, err error) bool {
+	if s.quarTTL <= 0 || !isCorrupt(err) {
+		return false
+	}
+	s.quarMu.Lock()
+	_, already := s.quar[obj.name]
+	s.quar[obj.name] = &quarEntry{
+		until:  time.Now().Add(s.quarTTL),
+		fsize:  obj.fsize,
+		mtime:  obj.mtime,
+		reason: err.Error(),
+	}
+	s.quarMu.Unlock()
+	if !already {
+		s.mQuar.Inc()
+	}
+	if obj.ra != nil {
+		obj.ra.Forget()
+	}
+	s.mu.Lock()
+	if s.objects[obj.name] == obj {
+		delete(s.objects, obj.name)
+		s.retire(obj)
+	}
+	s.mu.Unlock()
+	s.logf("quarantined %s for %v: %v", obj.name, s.quarTTL, err)
+	return true
+}
+
+// quarantined checks name against the quarantine, dropping entries
+// whose TTL has passed or whose file has changed since the bad decode.
+func (s *Server) quarantined(name string, st os.FileInfo) (string, bool) {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	q, ok := s.quar[name]
+	if !ok {
+		return "", false
+	}
+	if time.Now().After(q.until) || q.fsize != st.Size() || !q.mtime.Equal(st.ModTime()) {
+		delete(s.quar, name)
+		return "", false
+	}
+	return q.reason, true
 }
 
 // objSize returns the object's decompressed size, discovering it with
@@ -549,45 +829,94 @@ func (s *Server) objSize(ctx context.Context, obj *object) (int64, error) {
 	return n, nil
 }
 
+// seqRetries bounds the sequential path's in-request retries of
+// transient source-read errors; backoffBase is the first sleep, doubled
+// per attempt with up to 50% jitter so synchronized retries splay.
+const (
+	seqRetries  = 2
+	backoffBase = 25 * time.Millisecond
+)
+
+// retrySequential runs fn up to 1+seqRetries times, backing off between
+// attempts, as long as the failure is transient (a flaky disk read —
+// not corruption, not cancellation) and fn reports it is still safe to
+// retry (no response bytes sent).
+func (s *Server) retrySequential(ctx context.Context, fn func() (retryable bool, err error)) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var retryable bool
+		retryable, err = fn()
+		if err == nil || !retryable || attempt == seqRetries || !isTransient(err) {
+			return err
+		}
+		s.mRetries.Inc()
+		delay := backoffBase << attempt
+		delay += time.Duration(rand.Int63n(int64(delay)))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
 // countSize runs the counting decode behind objSize's token.
 func (s *Server) countSize(ctx context.Context, obj *object) (int64, error) {
 	s.gDecoding.Inc()
 	defer s.gDecoding.Dec()
-	r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(obj.file, 0, obj.fsize))
-	if err != nil {
-		return 0, err
-	}
-	defer r.Close()
-	return io.Copy(io.Discard, r)
+	var n int64
+	err := s.retrySequential(ctx, func() (bool, error) {
+		s.mSeqDec.Inc()
+		r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(obj.file, 0, obj.fsize))
+		if err != nil {
+			return true, err
+		}
+		defer r.Close()
+		n, err = io.Copy(io.Discard, r)
+		return true, err
+	})
+	return n, err
 }
 
 // serveSequential is the fallback send path: decode the stream under
 // the request's context, position at off (Seek for native containers,
-// decode-and-discard for foreign), and copy length bytes.
+// decode-and-discard for foreign), and copy length bytes. Transient
+// read errors retry with backoff while no body byte has been sent;
+// after first byte the response is committed and can only abort.
 func (s *Server) serveSequential(ctx context.Context, obj *object, w io.Writer, off, length int64) error {
 	s.gDecoding.Inc()
 	defer s.gDecoding.Dec()
-	r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(obj.file, 0, obj.fsize))
-	if err != nil {
-		return err
-	}
-	defer r.Close()
-	if off > 0 {
-		if obj.form == gompresso.FormatGompresso {
-			_, err = r.Seek(off, io.SeekStart)
-		} else {
-			_, err = io.CopyN(io.Discard, r, off)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	if length > 0 {
-		if _, err := io.CopyN(w, r, length); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.retrySequential(ctx, func() (bool, error) {
+		s.mSeqDec.Inc()
+		var sent int64
+		err := func() error {
+			r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(obj.file, 0, obj.fsize))
+			if err != nil {
+				return err
+			}
+			defer r.Close()
+			if off > 0 {
+				if obj.form == gompresso.FormatGompresso {
+					_, err = r.Seek(off, io.SeekStart)
+				} else {
+					_, err = io.CopyN(io.Discard, r, off)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			if length > 0 {
+				var n int64
+				n, err = io.CopyN(w, r, length)
+				sent += n
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		return sent == 0, err
+	})
 }
 
 // contentTypeFor guesses a Content-Type from the object name with the

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"gompresso/internal/fault"
+)
+
+// File is one served object's backing store: positioned reads for the
+// block machinery, a Stat for validator checks, and a Close when the
+// registry lets the resolution go.
+type File interface {
+	io.ReaderAt
+	io.Closer
+	Stat() (os.FileInfo, error)
+}
+
+// Source abstracts where objects come from. The server resolves request
+// paths against a Source rather than opening os.Files directly, so a
+// fault-injection layer (tests, chaos runs) or a future content-addressed
+// store can slot in without touching the request path. Names are
+// slash-separated paths relative to the source root, already cleaned.
+type Source interface {
+	Open(name string) (File, error)
+	Stat(name string) (os.FileInfo, error)
+}
+
+// DirSource serves a directory tree — the production Source.
+type DirSource struct{ root string }
+
+// NewDirSource returns a Source over the directory root.
+func NewDirSource(root string) *DirSource { return &DirSource{root: root} }
+
+func (d *DirSource) path(name string) string {
+	return filepath.Join(d.root, filepath.FromSlash(name))
+}
+
+// Open opens root/name.
+func (d *DirSource) Open(name string) (File, error) { return os.Open(d.path(name)) }
+
+// Stat stats root/name.
+func (d *DirSource) Stat(name string) (os.FileInfo, error) { return os.Stat(d.path(name)) }
+
+// FaultSource wraps a Source with a fault script: reads through files
+// whose names match the script's globs fail per the script. Stat and
+// Open themselves stay honest — the injected failures are read-path
+// failures, the kind a daemon meets mid-request.
+type FaultSource struct {
+	base   Source
+	script *fault.Script
+}
+
+// NewFaultSource wraps base with script.
+func NewFaultSource(base Source, script *fault.Script) *FaultSource {
+	return &FaultSource{base: base, script: script}
+}
+
+// Script returns the wrapped script (tests toggle it mid-run).
+func (fs *FaultSource) Script() *fault.Script { return fs.script }
+
+// Open opens the file through the fault layer.
+func (fs *FaultSource) Open(name string) (File, error) {
+	f, err := fs.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if !fs.script.Active(name) {
+		return f, nil
+	}
+	return &faultFile{File: f, ra: fs.script.ReaderAt(name, f)}, nil
+}
+
+// Stat passes through to the base source.
+func (fs *FaultSource) Stat(name string) (os.FileInfo, error) { return fs.base.Stat(name) }
+
+// faultFile routes ReadAt through the script while keeping the base
+// file's Stat and Close.
+type faultFile struct {
+	File
+	ra io.ReaderAt
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.ra.ReadAt(p, off) }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 
 	"gompresso/internal/blockcache"
@@ -86,6 +87,26 @@ func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context, f
 // Header returns the container's file header.
 func (r *ReaderAt) Header() FileHeader { return r.hdr }
 
+// Forget drops every block this reader has left in the shared cache.
+// The serving layer calls it when the backing object is replaced or
+// quarantined, so stale or suspect bytes can never be served from
+// cache. A no-op without a cache.
+func (r *ReaderAt) Forget() {
+	if r.cache != nil {
+		r.cache.ForgetObject(r.obj)
+	}
+}
+
+// recoverToErr converts a panic inside a parallel decode share into an
+// error on that share. Decode runs on pool workers, where an escaped
+// panic kills the process; a corrupt input that trips a decoder bug
+// must instead degrade to a failed request.
+func recoverToErr(errp *error) {
+	if v := recover(); v != nil {
+		*errp = fmt.Errorf("gompresso: decode panicked: %v\n%s", v, debug.Stack())
+	}
+}
+
 // Size returns the decompressed size of the container.
 func (r *ReaderAt) Size() int64 { return int64(r.hdr.RawSize) }
 
@@ -155,6 +176,7 @@ func (r *ReaderAt) readAtCtx(ctx context.Context, p []byte, off int64) (int, err
 		}()
 	}
 	parallel.ForShare(int(nb), r.workers, func(share, k int) {
+		defer recoverToErr(&errs[k])
 		if err := ctx.Err(); err != nil {
 			errs[k] = err
 			return
@@ -374,6 +396,7 @@ func (r *ReaderAt) writeRangeCached(ctx context.Context, w io.Writer, off, lengt
 		// elsewhere blocks only on that decode, which always runs
 		// inline on its winning caller, never behind this pool.
 		parallel.ForShare(int(end-start+1), r.workers, func(_, k int) {
+			defer recoverToErr(&errs[k])
 			bufs[k], errs[k] = r.cacheBlock(ctx, start+int64(k), nil)
 		})
 		for bi := start; bi <= end; bi++ {

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Chaos smoke test for `gompresso serve` (CI: the chaos-smoke job; also
+# runs locally from the repo root). Starts the daemon with a fault
+# script injected (-fault: EIO + latency) plus one genuinely corrupt
+# object, and checks the failure-domain acceptance criteria end to end:
+#
+#   - faulted paths answer 502/503 — the daemon never hangs or dies,
+#   - the healthy object stays byte-identical to `gompresso cat`
+#     throughout, served concurrently with every failure mode,
+#   - a queued request is shed with 503 + Retry-After once the limiter
+#     stays full past -queue-wait,
+#   - a corrupt object is quarantined: the repeat request answers its
+#     502 at least 10x faster than the first (fail-fast, no re-decode,
+#     confirmed via the sequential_decodes_total counter),
+#   - SIGTERM flips /readyz to 503 (while /healthz stays 200) before
+#     the listener closes, and the daemon exits 0.
+set -euo pipefail
+
+work=$(mktemp -d)
+srv_pid=""
+cleanup() {
+  [ -n "$srv_pid" ] && kill -9 "$srv_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+bin="$work/gompresso"
+go build -o "$bin" ./cmd/gompresso
+
+# Fixture: one healthy indexed container (the control), two gzip objects
+# the fault script will break (EIO past the header; slow reads), and one
+# genuinely corrupt object — a large gzip cut short at 90%, so its first
+# decode burns real work before failing and the quarantined repeat has
+# something to be 10x faster than.
+root="$work/root"; mkdir "$root"
+cat ./*.go internal/*/*.go > "$work/corpus.txt"
+"$bin" compress -index -block 64 "$work/corpus.txt" "$root/healthy.gpz" 2>/dev/null
+gzip -c "$work/corpus.txt" > "$root/flaky.gz"
+gzip -c "$work/corpus.txt" > "$root/slow.gz"
+for _ in $(seq 1 60); do cat "$work/corpus.txt"; done > "$work/big.txt"
+gzip -c "$work/big.txt" > "$work/big.gz"
+gsize=$(wc -c < "$work/big.gz" | tr -d ' ')
+head -c $((gsize * 9 / 10)) "$work/big.gz" > "$root/corrupt.gz"
+
+addr=127.0.0.1:18527
+"$bin" serve -addr "$addr" -root "$root" -cache 16 -max-inflight 1 \
+  -queue-wait 200ms -request-timeout 30s -quarantine-ttl 60s \
+  -drain-wait 1s -quiet \
+  -fault 'flaky.gz:eio@4096 ; slow.gz:latency=50ms' 2>"$work/serve.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+  curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+[ "$(curl -sf "http://$addr/healthz")" = "ok" ]
+[ "$(curl -sf "http://$addr/readyz")" = "ready" ]
+
+alive() { kill -0 "$srv_pid" 2>/dev/null || { echo "FAIL: daemon died ($1)"; cat "$work/serve.log"; exit 1; }; }
+status_of() { curl -s -o /dev/null -w '%{http_code}' --max-time 60 "http://$addr/$1"; }
+metric() { curl -sf "http://$addr/metrics?format=json" | grep -o "\"$1\": [0-9.]*" | cut -d' ' -f2; }
+
+# The healthy control must serve byte-identical to `gompresso cat`,
+# checked between every failure probe below.
+check_healthy() {
+  curl -sf --max-time 60 "http://$addr/healthy.gpz" > "$work/got"
+  cmp "$work/got" "$work/want_healthy" || { echo "FAIL: healthy object corrupted ($1)"; exit 1; }
+}
+"$bin" cat "$root/healthy.gpz" > "$work/want_healthy"
+check_healthy baseline
+
+# 1. EIO object: every request must come back a clean 502 — bounded
+# time (the in-request retries back off and give up), process alive.
+for i in 1 2 3; do
+  code=$(status_of flaky.gz)
+  [ "$code" = "502" ] || { echo "FAIL: flaky.gz want 502, got $code"; exit 1; }
+  alive "flaky.gz probe $i"
+  check_healthy "after flaky.gz probe $i"
+done
+
+# 2. Latency object: degraded but correct — 200 and byte-identical.
+curl -sf --max-time 120 "http://$addr/slow.gz" > "$work/got"
+cmp "$work/got" "$work/corpus.txt" || { echo "FAIL: slow.gz served wrong bytes"; exit 1; }
+alive "slow.gz"
+
+# 3. Load shedding: hold the single decode slot with a slow request,
+# then a queued request must be shed with 503 + Retry-After within
+# -queue-wait, not stall behind it.
+curl -sf --max-time 120 "http://$addr/slow.gz" > /dev/null &
+slow_pid=$!
+for _ in $(seq 1 200); do
+  [ "$(metric inflight_requests)" -ge 1 ] 2>/dev/null && break
+  sleep 0.02
+done
+shed_code=$(curl -s -o /dev/null -w '%{http_code}' -D "$work/shed.hdr" --max-time 10 "http://$addr/healthy.gpz")
+wait "$slow_pid"
+[ "$shed_code" = "503" ] || { echo "FAIL: queued request want 503, got $shed_code"; exit 1; }
+grep -qi '^Retry-After:' "$work/shed.hdr" || { echo "FAIL: shed response missing Retry-After"; exit 1; }
+[ "$(metric shed_total)" -ge 1 ] || { echo "FAIL: shed_total not incremented"; exit 1; }
+alive "shedding"
+check_healthy "after shedding (slot free again)"
+
+# 4. Quarantine: the corrupt object's first request pays a real decode
+# before its 502; repeats must fail fast — >= 10x faster, with the
+# sequential-decode counter standing still.
+t_first=$(curl -s -o /dev/null -w '%{time_total}' --max-time 120 "http://$addr/corrupt.gz")
+code=$(status_of corrupt.gz) # repeat 1 (also timing warm-up)
+[ "$code" = "502" ] || { echo "FAIL: corrupt.gz want 502, got $code"; exit 1; }
+decodes_before=$(metric sequential_decodes_total)
+t_repeat=$(curl -s -o /dev/null -w '%{time_total}' --max-time 10 "http://$addr/corrupt.gz")
+decodes_after=$(metric sequential_decodes_total)
+[ "$decodes_before" = "$decodes_after" ] || { echo "FAIL: quarantined repeat re-decoded ($decodes_before -> $decodes_after)"; exit 1; }
+awk -v f="$t_first" -v r="$t_repeat" 'BEGIN { exit !(r * 10 <= f) }' || {
+  echo "FAIL: quarantined repeat not 10x faster (first=${t_first}s repeat=${t_repeat}s)"; exit 1; }
+[ "$(metric quarantined_total)" -ge 1 ] || { echo "FAIL: quarantined_total not incremented"; exit 1; }
+alive "quarantine"
+check_healthy "after quarantine"
+
+# 5. Nothing panicked anywhere above.
+[ "$(metric panics_total)" = "0" ] || { echo "FAIL: panics_total = $(metric panics_total)"; exit 1; }
+
+# 6. Graceful drain: SIGTERM flips /readyz to 503 while /healthz stays
+# 200 and the listener keeps answering through -drain-wait; then the
+# daemon exits cleanly.
+kill -TERM "$srv_pid"
+ready_flipped=""
+for _ in $(seq 1 50); do
+  rc=$(curl -s -o /dev/null -w '%{http_code}' --max-time 2 "http://$addr/readyz" || true)
+  if [ "$rc" = "503" ]; then ready_flipped=1; break; fi
+  sleep 0.02
+done
+[ -n "$ready_flipped" ] || { echo "FAIL: /readyz never flipped to 503 during drain"; exit 1; }
+hc=$(curl -s -o /dev/null -w '%{http_code}' --max-time 2 "http://$addr/healthz" || true)
+[ "$hc" = "200" ] || { echo "FAIL: /healthz = $hc during drain, want 200"; exit 1; }
+wait "$srv_pid" || { echo "FAIL: daemon exited non-zero after SIGTERM"; exit 1; }
+srv_pid=""
+
+echo "chaos smoke: OK (first=${t_first}s repeat=${t_repeat}s shed=$shed_code)"
