@@ -2,7 +2,7 @@
 // in-process and writes a machine-readable BENCH_<n>.json so the performance
 // trajectory is tracked from PR to PR (see EXPERIMENTS.md).
 //
-//	go run ./cmd/bench                 # full run, writes BENCH_5.json
+//	go run ./cmd/bench                 # full run, writes BENCH_7.json
 //	go run ./cmd/bench -short          # CI smoke: small corpus, 1 iteration
 //	go run ./cmd/bench -o results.json # custom output path
 //
@@ -61,7 +61,7 @@ type report struct {
 func main() {
 	size := flag.Int("size", 8<<20, "corpus size in bytes")
 	iters := flag.Int("iters", 3, "timed iterations per benchmark (best is reported)")
-	out := flag.String("o", "BENCH_5.json", "output JSON path")
+	out := flag.String("o", "BENCH_7.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 MB corpus, 1 iteration")
 	flag.Parse()
 	if *short {
@@ -310,8 +310,8 @@ func main() {
 		ts := httptest.NewServer(s.Handler())
 		return s, ts
 	}
-	rangeGet := func(base string, off, n int) int {
-		req, err := http.NewRequest(http.MethodGet, base+"/corpus.gpz", nil)
+	rangeGet := func(base, name string, off, n int) int {
+		req, err := http.NewRequest(http.MethodGet, base+"/"+name, nil)
 		if err != nil {
 			fatal("serve request: %v", err)
 		}
@@ -355,22 +355,128 @@ func main() {
 			if off+n > len(wiki) {
 				n = len(wiki) - off
 			}
-			total += rangeGet(ts.URL, off, n)
+			total += rangeGet(ts.URL, "corpus.gpz", off, n)
 		}
 		return total
 	})
 	hotSrv, hotTS := newServer()
-	rangeGet(hotTS.URL, 0, rangeLen) // warm the cache
+	rangeGet(hotTS.URL, "corpus.gpz", 0, rangeLen) // warm the cache
 	hot := host("ServeRange_Hot", func() int {
 		total := 0
 		for i := 0; i < 8; i++ {
-			total += rangeGet(hotTS.URL, 0, rangeLen)
+			total += rangeGet(hotTS.URL, "corpus.gpz", 0, rangeLen)
 		}
 		return total
 	})
 	hot.HitRate = hotSrv.Codec().CacheStats().HitRate()
 	hotTS.Close()
 	rep.Benchmarks = append(rep.Benchmarks, cold, hot)
+
+	// Foreign random access (PR 7): the .gz corpus behind a checkpoint
+	// seek index. GzipReadAt drives the index-backed ReaderAt directly —
+	// a sweep of 64 KiB reads that decodes each ~1 MiB chunk once.
+	gzIdx := func() *gompresso.SeekIndex {
+		c, err := gompresso.New()
+		if err != nil {
+			fatal("gz index codec: %v", err)
+		}
+		r, err := c.NewReader(bytes.NewReader(gzData))
+		if err != nil {
+			fatal("gz index reader: %v", err)
+		}
+		defer r.Close()
+		if !r.CollectForeignIndex(1 << 20) {
+			fatal("CollectForeignIndex refused the bench gzip")
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			fatal("gz index decode: %v", err)
+		}
+		return r.ForeignIndex()
+	}()
+	gzReadAt := host("GzipReadAt", func() int {
+		c, err := gompresso.New(gompresso.WithCache(256 << 20))
+		if err != nil {
+			fatal("gz readat codec: %v", err)
+		}
+		ra, err := c.NewReaderAtWithIndex(bytes.NewReader(gzData), int64(len(gzData)), gzIdx)
+		if err != nil {
+			fatal("gz readat: %v", err)
+		}
+		buf := make([]byte, 64<<10)
+		total := 0
+		for off := 0; off+len(buf) <= len(wiki); off += 256 << 10 {
+			n, err := ra.ReadAt(buf, int64(off))
+			if err != nil && err != io.EOF {
+				fatal("gz readat at %d: %v", off, err)
+			}
+			if off == 0 && !bytes.Equal(buf[:n], wiki[:n]) {
+				fatal("gz readat bytes differ")
+			}
+			total += n
+		}
+		return total
+	})
+	rep.Benchmarks = append(rep.Benchmarks, gzReadAt)
+
+	// Ranged GETs on the served .gz. Cold: fresh in-memory server, one
+	// range — the request pays the full counting decode that captures the
+	// index (the PR 5 sequential-fallback cost, paid once instead of per
+	// request). Warm: fresh server loading a persisted sidecar, sweeping
+	// the object in 1 MiB ranges through chunk decodes. Hot: repeated
+	// range on a warmed server, served from the decoded-block cache.
+	if err := os.WriteFile(filepath.Join(serveDir, "corpus.txt.gz"), gzData, 0o644); err != nil {
+		fatal("gz fixture: %v", err)
+	}
+	gzIdxDir, err := os.MkdirTemp("", "gompresso-bench-gzidx")
+	if err != nil {
+		fatal("gz index dir: %v", err)
+	}
+	defer os.RemoveAll(gzIdxDir)
+	newGzServer := func(indexDir string) (*server.Server, *httptest.Server) {
+		s, err := server.New(server.Options{
+			Root: serveDir, CacheBytes: 256 << 20, IndexDir: indexDir, IndexSpacing: 1 << 20, Logf: nil,
+		})
+		if err != nil {
+			fatal("gz server: %v", err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		return s, ts
+	}
+	gzCold := host("ServeRangeGz_Cold", func() int {
+		_, ts := newGzServer("")
+		defer ts.Close()
+		return rangeGet(ts.URL, "corpus.txt.gz", 12345, rangeLen)
+	})
+	{ // build the persistent sidecar warm/hot servers will load
+		_, ts := newGzServer(gzIdxDir)
+		rangeGet(ts.URL, "corpus.txt.gz", 0, 4096)
+		ts.Close()
+	}
+	gzWarm := host("ServeRangeGz_Warm", func() int {
+		_, ts := newGzServer(gzIdxDir)
+		defer ts.Close()
+		total := 0
+		for off := 0; off < len(wiki); off += rangeLen {
+			n := rangeLen
+			if off+n > len(wiki) {
+				n = len(wiki) - off
+			}
+			total += rangeGet(ts.URL, "corpus.txt.gz", off, n)
+		}
+		return total
+	})
+	gzHotSrv, gzHotTS := newGzServer(gzIdxDir)
+	rangeGet(gzHotTS.URL, "corpus.txt.gz", 0, rangeLen) // warm the cache
+	gzHot := host("ServeRangeGz_Hot", func() int {
+		total := 0
+		for i := 0; i < 8; i++ {
+			total += rangeGet(gzHotTS.URL, "corpus.txt.gz", 0, rangeLen)
+		}
+		return total
+	})
+	gzHot.HitRate = gzHotSrv.Codec().CacheStats().HitRate()
+	gzHotTS.Close()
+	rep.Benchmarks = append(rep.Benchmarks, gzCold, gzWarm, gzHot)
 
 	rep.HostFastPath.SeedBaselineMBps = seedHostBitMBps
 	rep.HostFastPath.ReferenceMBps = ref.HostGBps * 1000

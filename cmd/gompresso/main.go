@@ -10,6 +10,7 @@
 //	gompresso info       <in>
 //	gompresso stat       [-json] <in>     (container metadata, no decode)
 //	gompresso verify     [flags] <in>     (compress+decompress in memory)
+//	gompresso index      [flags] <in>     (build a .gzx seek-index sidecar for a .gz/.zz)
 //	gompresso serve      [flags]          (HTTP range server over -root)
 //
 // compress streams its input through the parallel gompresso.Writer, so
@@ -49,6 +50,8 @@ func main() {
 		err = statCmd(args)
 	case "verify":
 		err = verifyCmd(args)
+	case "index":
+		err = indexCmd(args)
 	case "serve":
 		err = serveCmd(args)
 	default:
@@ -61,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|cat|info|stat|verify|serve} [flags] <in> [out]")
+	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|cat|info|stat|verify|index|serve} [flags] <in> [out]")
 	os.Exit(2)
 }
 

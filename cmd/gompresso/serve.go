@@ -34,6 +34,8 @@ func serveCmd(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request decode deadline (0 disables)")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "rolling per-write deadline on response bodies (0 disables)")
 	quarTTL := fs.Duration("quarantine-ttl", 30*time.Second, "how long a corrupt object fails fast with 502 before re-probing (negative disables)")
+	indexDir := fs.String("index-dir", "", "persist .gz/.zz seek-index sidecars here after the first decode ('' = in-memory only; use -root to keep them beside the objects)")
+	indexSpacing := fs.Int64("index-spacing", 0, "decompressed bytes between seek-index checkpoints (0 = ~1 MiB default)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server full-request read timeout")
 	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "http.Server keep-alive idle timeout")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown grace period for in-flight responses")
@@ -59,6 +61,8 @@ func serveCmd(args []string) error {
 		RequestTimeout: *reqTimeout,
 		WriteTimeout:   *writeTimeout,
 		QuarantineTTL:  *quarTTL,
+		IndexDir:       *indexDir,
+		IndexSpacing:   *indexSpacing,
 		Logf:           logf,
 	}
 	if *faultSpec != "" {

@@ -9,6 +9,7 @@ import (
 
 	"gompresso"
 	"gompresso/internal/format"
+	"gompresso/internal/gzidx"
 )
 
 // statJSON is the machine-readable shape of `gompresso stat -json`.
@@ -28,6 +29,13 @@ type statJSON struct {
 	MinBlockC  int64   `json:"min_block_comp,omitempty"`
 	AvgBlockC  float64 `json:"avg_block_comp,omitempty"`
 	MaxBlockC  int64   `json:"max_block_comp,omitempty"`
+
+	// Foreign (.gz/.zz) fields, filled from a seek-index sidecar when a
+	// fresh one sits beside the file.
+	Members     int     `json:"members,omitempty"`
+	Sidecar     string  `json:"sidecar,omitempty"` // none | valid | invalid
+	Checkpoints int     `json:"checkpoints,omitempty"`
+	AvgSpacing  float64 `json:"avg_checkpoint_spacing,omitempty"`
 }
 
 // statCmd prints container metadata without decompressing: the header
@@ -87,6 +95,28 @@ func statCmd(args []string) error {
 			st.MinBlockC, st.MaxBlockC = min, max
 			st.AvgBlockC = float64(sum) / float64(idx.NumBlocks())
 		}
+	case gompresso.FormatGzip, gompresso.FormatZlib:
+		// Framing alone hides the raw size; a fresh sidecar beside the
+		// file reveals it (and the random-access geometry) for free.
+		st.Sidecar = "none"
+		if fst, err := os.Stat(fs.Arg(0)); err == nil {
+			idx, err := gzidx.LoadFile(fs.Arg(0)+gzidx.Ext, fst.Size(), fst.ModTime())
+			switch {
+			case err == nil:
+				st.Sidecar = "valid"
+				st.RawSize = idx.RawSize
+				if len(data) > 0 {
+					st.Ratio = float64(st.RawSize) / float64(len(data))
+				}
+				st.Members = idx.Members
+				st.Checkpoints = idx.NumChunks()
+				if n := idx.NumChunks(); n > 0 {
+					st.AvgSpacing = float64(idx.RawSize) / float64(n)
+				}
+			case !os.IsNotExist(err):
+				st.Sidecar = "invalid"
+			}
+		}
 	case gompresso.FormatAuto:
 		return fmt.Errorf("%s: unrecognized format", fs.Arg(0))
 	}
@@ -99,7 +129,16 @@ func statCmd(args []string) error {
 	fmt.Printf("format       %s\n", st.Format)
 	fmt.Printf("comp size    %d\n", st.CompSize)
 	if form != gompresso.FormatGompresso {
-		fmt.Printf("raw size     unknown (foreign stream; decode to measure)\n")
+		if st.Sidecar != "valid" {
+			fmt.Printf("raw size     unknown (foreign stream; `gompresso index` to measure)\n")
+			fmt.Printf("sidecar      %s\n", st.Sidecar)
+			return nil
+		}
+		fmt.Printf("raw size     %d\n", st.RawSize)
+		fmt.Printf("ratio        %.3f\n", st.Ratio)
+		fmt.Printf("members      %d\n", st.Members)
+		fmt.Printf("sidecar      valid\n")
+		fmt.Printf("checkpoints  %d (avg spacing %.0f bytes)\n", st.Checkpoints, st.AvgSpacing)
 		return nil
 	}
 	fmt.Printf("raw size     %d\n", st.RawSize)

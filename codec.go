@@ -317,3 +317,16 @@ func (c *Codec) NewReaderContext(ctx context.Context, r io.Reader) (*Reader, err
 func (c *Codec) NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
 	return newReaderAt(ra, size, c.pipe.Workers, c.ctx, c.form, c.cache)
 }
+
+// NewReaderAtWithIndex opens a foreign compressed stream (gzip/zlib —
+// the first size bytes of ra) for the same concurrent positioned reads,
+// random access coming from a seek index built over exactly those bytes
+// (Reader.CollectIndex during a full decode, or a persisted sidecar via
+// internal gzidx tooling / `gompresso index`). Checkpointed chunks play
+// the role native blocks do: they key into the shared decoded-block
+// cache and feed WriteRangeTo's window-parallel send path unchanged.
+// The index is validated against size; keeping it fresh against a
+// mutable source is the caller's job, as with any cached resolution.
+func (c *Codec) NewReaderAtWithIndex(ra io.ReaderAt, size int64, idx *SeekIndex) (*ReaderAt, error) {
+	return newForeignReaderAt(ra, size, idx, c.pipe.Workers, c.ctx, c.cache)
+}

@@ -1,0 +1,158 @@
+package gompresso_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"math/rand"
+	"testing"
+
+	"gompresso"
+	"gompresso/internal/datagen"
+)
+
+// foreignFixture builds a gzip stream, its oracle decode, and a SeekIndex
+// captured through the facade Reader — the exact path the server uses.
+func foreignFixture(t *testing.T, rawLen int, spacing int64) ([]byte, []byte, *gompresso.SeekIndex) {
+	t.Helper()
+	raw := datagen.WikiXML(rawLen, 1234)
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	data := buf.Bytes()
+	c, err := gompresso.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.CollectForeignIndex(spacing) {
+		t.Fatal("CollectForeignIndex refused a foreign stream")
+	}
+	if r.ForeignIndex() != nil {
+		t.Fatal("ForeignIndex non-nil before EOF")
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("foreign decode differs from input")
+	}
+	idx := r.ForeignIndex()
+	if idx == nil {
+		t.Fatal("ForeignIndex nil after EOF")
+	}
+	return data, raw, idx
+}
+
+// TestForeignReaderAtParity drives random ReadAt and WriteRangeTo calls
+// through an index-backed foreign ReaderAt, cached and uncached, against
+// the sequential oracle.
+func TestForeignReaderAtParity(t *testing.T) {
+	data, raw, idx := foreignFixture(t, 300<<10, 16<<10)
+	if idx.NumChunks() < 4 {
+		t.Fatalf("only %d chunks; fixture too coarse to test", idx.NumChunks())
+	}
+	for _, cached := range []bool{false, true} {
+		opts := []gompresso.Option(nil)
+		if cached {
+			opts = append(opts, gompresso.WithCache(8<<20))
+		}
+		c, err := gompresso.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := c.NewReaderAtWithIndex(bytes.NewReader(data), int64(len(data)), idx)
+		if err != nil {
+			t.Fatalf("cached=%v: NewReaderAtWithIndex: %v", cached, err)
+		}
+		if ra.Size() != int64(len(raw)) {
+			t.Fatalf("cached=%v: Size %d, want %d", cached, ra.Size(), len(raw))
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 60; i++ {
+			off := rng.Int63n(int64(len(raw)))
+			n := rng.Int63n(40 << 10)
+			p := make([]byte, n)
+			m, err := ra.ReadAt(p, off)
+			if err != nil && err != io.EOF {
+				t.Fatalf("cached=%v: ReadAt(%d,%d): %v", cached, n, off, err)
+			}
+			if !bytes.Equal(p[:m], raw[off:off+int64(m)]) {
+				t.Fatalf("cached=%v: ReadAt(%d,%d) bytes differ", cached, n, off)
+			}
+			var sink bytes.Buffer
+			w, err := ra.WriteRangeTo(context.Background(), &sink, off, n)
+			if err != nil && err != io.EOF {
+				t.Fatalf("cached=%v: WriteRangeTo(%d,%d): %v", cached, off, n, err)
+			}
+			if !bytes.Equal(sink.Bytes(), raw[off:off+w]) {
+				t.Fatalf("cached=%v: WriteRangeTo(%d,%d) bytes differ", cached, off, n)
+			}
+		}
+		// Whole-stream read through chunk machinery.
+		all := make([]byte, len(raw))
+		if _, err := ra.ReadAt(all, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(all, raw) {
+			t.Fatalf("cached=%v: full ReadAt differs", cached)
+		}
+		if cached {
+			stats := c.CacheStats()
+			if stats.Hits == 0 {
+				t.Fatal("cache never hit across repeated ranges")
+			}
+			ra.Forget()
+		}
+	}
+}
+
+// TestForeignReaderAtRejectsMismatch: an index built over different bytes
+// must be rejected at construction (size) — the staleness gate callers
+// rely on.
+func TestForeignReaderAtRejectsMismatch(t *testing.T) {
+	data, _, idx := foreignFixture(t, 64<<10, 16<<10)
+	c, err := gompresso.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewReaderAtWithIndex(bytes.NewReader(data), int64(len(data))-1, idx); err == nil {
+		t.Fatal("accepted index with mismatched source size")
+	}
+	if _, err := c.NewReaderAtWithIndex(bytes.NewReader(data), int64(len(data)), nil); err == nil {
+		t.Fatal("accepted nil index")
+	}
+}
+
+// TestCollectForeignIndexNative: native containers carry their own block
+// index; CollectForeignIndex must refuse rather than pretend.
+func TestCollectForeignIndexNative(t *testing.T) {
+	c, err := gompresso.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _, err := c.Compress(datagen.WikiXML(32<<10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.CollectForeignIndex(0) {
+		t.Fatal("CollectForeignIndex accepted a native container")
+	}
+	if r.ForeignIndex() != nil {
+		t.Fatal("ForeignIndex non-nil for native container")
+	}
+}

@@ -101,7 +101,8 @@ type Reader struct {
 	pendErr error // error to surface after the current segment drains
 	closed  bool
 
-	par *parRun
+	par     *parRun
+	collect *collector // seek-index capture; nil unless CollectIndex enabled
 }
 
 var errClosed = errors.New("deflate: reader closed")
@@ -119,10 +120,21 @@ func NewReaderBytes(data []byte, form Format, opt Options, ctx context.Context) 
 		r.eng.release()
 		return nil, err
 	}
-	if opt.Workers > 1 && len(data) >= opt.ChunkSize+minChunkSize {
+	if useParallel(len(data), opt, parallel.Workers(opt.Workers, opt.Workers)) {
 		r.par = startScan(data, r.eng.bit, opt, ctx)
 	}
 	return r, nil
+}
+
+// useParallel reports whether the speculative two-pass pipeline is worth
+// starting: the caller asked for more than one worker, the shared pool can
+// actually run more than one share at once, and the input is long enough
+// to split. On a GOMAXPROCS=1 box Workers>1 used to start the scanner
+// anyway and pay scan+marker overhead with zero concurrency (BENCH_5
+// Gzip_Bit_W2: 0.138 GB/s vs 0.213 sequential); now effective parallelism
+// of 1 degrades to the sequential engine.
+func useParallel(dataLen int, opt Options, poolWorkers int) bool {
+	return opt.Workers > 1 && poolWorkers > 1 && dataLen >= opt.ChunkSize+minChunkSize
 }
 
 // NewReader reads all of src into memory and returns a Reader over it. The
@@ -217,6 +229,14 @@ func (r *Reader) fill() {
 	r.seg, r.segOff = seg, 0
 	if err != nil {
 		r.err = err
+		return
+	}
+	// Checkpoint capture: after a segment lands with the engine parked at
+	// a block boundary mid-member, r.win holds exactly the history visible
+	// at r.eng.bit — both the spliced-parallel and sequential paths leave
+	// this invariant.
+	if r.collect != nil && r.pendErr == nil && r.ms == msBlocks && r.eng.st == stBlock {
+		r.collect.maybeAdd(r.eng.bit, r.win[:r.winLen])
 	}
 }
 
@@ -275,6 +295,11 @@ func (r *Reader) beginMember() error {
 		r.sum = 1
 	}
 	r.members++
+	if r.collect != nil {
+		// Member starts are always checkpointed (windowless — no history
+		// crosses a framing boundary), so a chunk never spans members.
+		r.collect.add(Checkpoint{Bit: r.eng.bit, Out: r.collect.total})
+	}
 	return nil
 }
 
@@ -410,7 +435,14 @@ func (r *Reader) decodeSeq() ([]byte, error) {
 		if ev == evSpace {
 			break
 		}
-		// evBoundary: stop here if the next speculative chunk can splice.
+		// evBoundary: stop here if the next speculative chunk can splice,
+		// or if index capture owes a checkpoint — ending the segment lets
+		// fill() snapshot the window at this boundary, giving checkpoints
+		// at the requested spacing rather than segment (256 KiB)
+		// granularity.
+		if r.collect != nil && r.collect.due(pos-start) {
+			break
+		}
 		if r.par != nil {
 			if c := r.par.peek(); c != nil && c.start == r.eng.bit && c.err == nil {
 				break
@@ -431,6 +463,9 @@ func (r *Reader) emit(start, pos int) []byte {
 func (r *Reader) account(p []byte) {
 	if len(p) == 0 {
 		return
+	}
+	if r.collect != nil {
+		r.collect.total += int64(len(p))
 	}
 	switch r.form {
 	case FormatGzip:

@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"path"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -52,6 +53,7 @@ import (
 	"gompresso"
 	"gompresso/internal/deflate"
 	"gompresso/internal/format"
+	"gompresso/internal/gzidx"
 	"gompresso/internal/lz77"
 	"gompresso/internal/perf"
 )
@@ -99,6 +101,17 @@ type Options struct {
 	// directory tree at Root; tests and the dev -fault flag inject a
 	// fault-wrapped source here.
 	Source Source
+	// IndexDir, when set, persists foreign seek-index sidecars there
+	// (mirroring the object tree, atomic temp+rename) after the first
+	// full decode of a `.gz`/`.zz` object, and loads them back on
+	// resolve. Set it to Root to keep sidecars alongside their objects.
+	// Empty (the default, safe for read-only roots) keeps indexes
+	// in-memory only, living and dying with the object resolution.
+	IndexDir string
+	// IndexSpacing is the decompressed-byte gap between seek-index
+	// checkpoints (0 selects the ~1 MiB default). Smaller spacing means
+	// finer random access at more index overhead.
+	IndexSpacing int64
 	// Logf, when set, receives one line per completed request.
 	Logf func(format string, args ...any)
 }
@@ -116,6 +129,8 @@ type Server struct {
 	requestTimeout time.Duration
 	writeTimeout   time.Duration
 	quarTTL        time.Duration // <= 0 means quarantine disabled
+	indexDir       string
+	indexSpacing   int64
 
 	// ready is true from construction until BeginDrain; /readyz keys
 	// off it so load balancers stop routing before Shutdown closes
@@ -139,6 +154,9 @@ type Server struct {
 	mQuarHits *perf.Counter
 	mSeqDec   *perf.Counter
 	mRetries  *perf.Counter
+	mIdxLoad  *perf.Counter
+	mIdxBuild *perf.Counter
+	mIdxErr   *perf.Counter
 	gInFlight *perf.Gauge
 	gWaiting  *perf.Gauge
 	gDecoding *perf.Gauge
@@ -166,9 +184,13 @@ type object struct {
 	etag  string
 	form  gompresso.Format
 
-	// ra serves indexed native containers; nil selects the sequential
-	// fallback (unindexed native, or foreign gzip/zlib).
-	ra *gompresso.ReaderAt
+	// ra serves random access; nil selects the sequential fallback
+	// (unindexed native containers, or foreign gzip/zlib before
+	// promotion). Native indexed containers get it at resolve; foreign
+	// objects get it when a seek index becomes available — loaded from a
+	// sidecar at resolve, or captured during the first counting decode
+	// and promoted mid-lifetime, hence the atomic.
+	ra atomic.Pointer[gompresso.ReaderAt]
 
 	// rawSize is the decompressed size; -1 until discovered (foreign
 	// formats pay one counting decode on first use). szTok is the
@@ -246,6 +268,8 @@ func New(o Options) (*Server, error) {
 		requestTimeout: o.RequestTimeout,
 		writeTimeout:   o.WriteTimeout,
 		quarTTL:        o.QuarantineTTL,
+		indexDir:       o.IndexDir,
+		indexSpacing:   o.IndexSpacing,
 		objects:        make(map[string]*object),
 		quar:           make(map[string]*quarEntry),
 		reg:            perf.NewRegistry(),
@@ -267,6 +291,9 @@ func New(o Options) (*Server, error) {
 	s.mQuarHits = s.reg.Counter("quarantine_hits_total", "requests failed fast with 502 by a quarantine entry")
 	s.mSeqDec = s.reg.Counter("sequential_decodes_total", "sequential fallback decodes started (counting or serving)")
 	s.mRetries = s.reg.Counter("source_retries_total", "transient source-read errors retried on the sequential path")
+	s.mIdxLoad = s.reg.Counter("sidecar_loads_total", "foreign objects promoted to random access from a persisted sidecar")
+	s.mIdxBuild = s.reg.Counter("sidecar_builds_total", "seek indexes captured during a first decode and promoted")
+	s.mIdxErr = s.reg.Counter("sidecar_errors_total", "sidecars that failed to load (corrupt/stale) or persist")
 	s.hLatency = s.reg.Histogram("request_latency_ns", "object request wall time in nanoseconds")
 	s.reg.Func("quarantined_objects", "quarantine entries currently active", func() float64 {
 		s.quarMu.Lock()
@@ -536,8 +563,11 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 	if r.Method == http.MethodHead {
 		return nil
 	}
-	if obj.ra != nil {
-		_, err = obj.ra.WriteRangeTo(ctx, w, rng.off, rng.length)
+	// Load ra after objSize: a foreign object's first request counts,
+	// captures its index, and promotes — so even the cold request's body
+	// is served through the block machinery.
+	if ra := obj.ra.Load(); ra != nil {
+		_, err = ra.WriteRangeTo(ctx, w, rng.off, rng.length)
 	} else {
 		err = s.serveSequential(ctx, obj, w, rng.off, rng.length)
 	}
@@ -712,7 +742,18 @@ func (s *Server) resolve(name string, f File, st os.FileInfo) (*object, error) {
 			if err != nil {
 				return nil, errf(http.StatusUnsupportedMediaType, "malformed container: %v", err)
 			}
-			obj.ra = ra
+			obj.ra.Store(ra)
+		}
+	} else if idx := s.loadSidecar(name, st); idx != nil {
+		// A persisted sidecar promotes the foreign object immediately:
+		// no counting decode, random access from the first request.
+		if ra, err := s.codec.NewReaderAtWithIndex(f, st.Size(), idx); err == nil {
+			obj.ra.Store(ra)
+			obj.rawSize.Store(idx.RawSize)
+			s.mIdxLoad.Inc()
+		} else {
+			s.mIdxErr.Inc()
+			s.logf("sidecar for %s rejected: %v", name, err)
 		}
 	}
 	return obj, nil
@@ -771,8 +812,8 @@ func (s *Server) maybeQuarantine(obj *object, err error) bool {
 	if !already {
 		s.mQuar.Inc()
 	}
-	if obj.ra != nil {
-		obj.ra.Forget()
+	if ra := obj.ra.Load(); ra != nil {
+		ra.Forget()
 	}
 	s.mu.Lock()
 	if s.objects[obj.name] == obj {
@@ -860,7 +901,12 @@ func (s *Server) retrySequential(ctx context.Context, fn func() (retryable bool,
 	}
 }
 
-// countSize runs the counting decode behind objSize's token.
+// countSize runs the counting decode behind objSize's token. For foreign
+// objects the pass does double duty: seek checkpoints are captured along
+// the way (CollectForeignIndex — no extra decode), and on success the
+// object is promoted to the random-access path and the sidecar persisted
+// if an index directory is configured. The singleflight token means
+// concurrent cold requests build the index exactly once.
 func (s *Server) countSize(ctx context.Context, obj *object) (int64, error) {
 	s.gDecoding.Inc()
 	defer s.gDecoding.Dec()
@@ -872,10 +918,116 @@ func (s *Server) countSize(ctx context.Context, obj *object) (int64, error) {
 			return true, err
 		}
 		defer r.Close()
+		collecting := r.CollectForeignIndex(s.indexSpacing)
 		n, err = io.Copy(io.Discard, r)
+		if err == nil && collecting {
+			s.promote(obj, r.ForeignIndex())
+		}
 		return true, err
 	})
 	return n, err
+}
+
+// promote installs a freshly captured seek index on a foreign object:
+// the sequential fallback becomes block random access for every later
+// request (and the remainder of this one). Promotion failures are not
+// request failures — the object just keeps streaming sequentially.
+func (s *Server) promote(obj *object, idx *gompresso.SeekIndex) {
+	if idx == nil || obj.ra.Load() != nil {
+		return
+	}
+	ra, err := s.codec.NewReaderAtWithIndex(obj.file, obj.fsize, idx)
+	if err != nil {
+		s.mIdxErr.Inc()
+		s.logf("promoting %s: %v", obj.name, err)
+		return
+	}
+	if !obj.ra.CompareAndSwap(nil, ra) {
+		return
+	}
+	s.mIdxBuild.Inc()
+	s.persistSidecar(obj, idx)
+}
+
+// sidecarPath maps an object name into the index directory.
+func (s *Server) sidecarPath(name string) string {
+	return filepath.Join(s.indexDir, filepath.FromSlash(name)+gzidx.Ext)
+}
+
+// loadSidecar finds a fresh, valid sidecar for the foreign object name:
+// first in the configured index directory, then alongside the object
+// through the Source seam (sidecars shipped with the data, or built
+// offline by `gompresso index`). Corrupt or stale sidecars are ignored —
+// the first decode rebuilds and, when an index directory is configured,
+// replaces them.
+func (s *Server) loadSidecar(name string, st os.FileInfo) *gompresso.SeekIndex {
+	if s.indexDir != "" {
+		idx, err := gzidx.LoadFile(s.sidecarPath(name), st.Size(), st.ModTime())
+		if err == nil {
+			return idx
+		}
+		if !os.IsNotExist(err) {
+			s.mIdxErr.Inc()
+			s.logf("sidecar %s: %v", s.sidecarPath(name), err)
+		}
+	}
+	idx, err := s.loadSourceSidecar(name, st)
+	if err == nil {
+		return idx
+	}
+	if !os.IsNotExist(err) {
+		s.mIdxErr.Inc()
+		s.logf("sidecar %s%s: %v", name, gzidx.Ext, err)
+	}
+	return nil
+}
+
+// loadSourceSidecar reads name's sidecar through the Source seam.
+func (s *Server) loadSourceSidecar(name string, st os.FileInfo) (*gompresso.SeekIndex, error) {
+	scName := name + gzidx.Ext
+	sst, err := s.src.Stat(scName)
+	if err != nil {
+		return nil, err
+	}
+	if sst.Size() > gzidx.MaxSidecar {
+		return nil, fmt.Errorf("sidecar is %d bytes", sst.Size())
+	}
+	f, err := s.src.Open(scName)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data := make([]byte, sst.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, sst.Size()), data); err != nil {
+		return nil, err
+	}
+	idx, meta, err := gzidx.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Stale(st.Size(), st.ModTime()) {
+		return nil, errors.New("stale sidecar")
+	}
+	return idx, nil
+}
+
+// persistSidecar writes the object's freshly built index durably when an
+// index directory is configured; in-memory deployments skip it. Persist
+// failures never fail the request — the promotion already happened.
+func (s *Server) persistSidecar(obj *object, idx *gompresso.SeekIndex) {
+	if s.indexDir == "" {
+		return
+	}
+	enc, err := gzidx.Encode(idx, obj.mtime)
+	if err == nil {
+		err = gzidx.WriteFileAtomic(s.sidecarPath(obj.name), enc)
+	}
+	if err != nil {
+		s.mIdxErr.Inc()
+		s.logf("persisting sidecar for %s: %v", obj.name, err)
+		return
+	}
+	s.logf("sidecar persisted for %s (%d checkpoints)", obj.name, idx.NumChunks())
 }
 
 // serveSequential is the fallback send path: decode the stream under

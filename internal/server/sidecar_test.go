@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gompresso/internal/deflate"
+	"gompresso/internal/gzidx"
+)
+
+// rangeBody fetches one byte range and returns the body after checking
+// the status code.
+func rangeBody(t *testing.T, url string, off, length int64, wantStatus int) []byte {
+	t.Helper()
+	resp := get(t, url, map[string]string{
+		"Range": fmt.Sprintf("bytes=%d-%d", off, off+length-1),
+	})
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("range [%d,%d): status %d, want %d", off, off+length, resp.StatusCode, wantStatus)
+	}
+	return body(t, resp)
+}
+
+// TestForeignPromotion: the first request for a .gz object pays exactly
+// one counting decode, captures the seek index along the way, and
+// promotes the object — later ranged requests decode only covering
+// chunks, with sequential_decodes_total flat.
+func TestForeignPromotion(t *testing.T) {
+	fx := newFixture(t)
+	_, ts := startServer(t, Options{Root: fx.root, CacheBytes: 8 << 20, IndexSpacing: 32 << 10})
+
+	cold := rangeBody(t, ts.URL+"/corpus.txt.gz", 1000, 5000, http.StatusPartialContent)
+	if !bytes.Equal(cold, fx.src[1000:6000]) {
+		t.Fatal("cold ranged body differs")
+	}
+	m := metricsJSON(t, ts.URL)
+	if m["sequential_decodes_total"] != 1 {
+		t.Fatalf("cold request: %v sequential decodes, want 1", m["sequential_decodes_total"])
+	}
+	if m["sidecar_builds_total"] != 1 {
+		t.Fatalf("cold request: %v sidecar builds, want 1", m["sidecar_builds_total"])
+	}
+
+	// Warm: random-access path only — the sequential counter must not move.
+	for _, off := range []int64{0, 100 << 10, 250 << 10} {
+		warm := rangeBody(t, ts.URL+"/corpus.txt.gz", off, 4096, http.StatusPartialContent)
+		if !bytes.Equal(warm, fx.src[off:off+4096]) {
+			t.Fatalf("warm range at %d differs", off)
+		}
+	}
+	after := metricsJSON(t, ts.URL)
+	if after["sequential_decodes_total"] != 1 {
+		t.Fatalf("warm ranges re-ran the sequential decode: %v", after["sequential_decodes_total"])
+	}
+}
+
+// TestForeignConcurrentCold: many concurrent first requests race the
+// counting decode; the singleflight token must keep it to one pass, every
+// body must be correct, and nothing may leak.
+func TestForeignConcurrentCold(t *testing.T) {
+	fx := newFixture(t)
+	_, ts := startServer(t, Options{Root: fx.root, CacheBytes: 8 << 20, IndexSpacing: 32 << 10})
+
+	noLeaks(t, func() {
+		var wg sync.WaitGroup
+		errs := make(chan error, 16)
+		for i := 0; i < 16; i++ {
+			off := int64(i * 16 << 10)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp := get(t, ts.URL+"/corpus.txt.gz", map[string]string{
+					"Range": fmt.Sprintf("bytes=%d-%d", off, off+1023),
+				})
+				b := body(t, resp)
+				if resp.StatusCode != http.StatusPartialContent {
+					errs <- fmt.Errorf("status %d at %d", resp.StatusCode, off)
+					return
+				}
+				if !bytes.Equal(b, fx.src[off:off+1024]) {
+					errs <- fmt.Errorf("body differs at %d", off)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+	})
+	if m := metricsJSON(t, ts.URL); m["sequential_decodes_total"] != 1 {
+		t.Fatalf("%v sequential decodes across 16 concurrent cold requests, want 1",
+			m["sequential_decodes_total"])
+	}
+}
+
+// TestSidecarPersistence: with an index directory configured the first
+// decode persists a sidecar, and a fresh server over the same root loads
+// it — serving ranges without ever running a sequential decode.
+func TestSidecarPersistence(t *testing.T) {
+	fx := newFixture(t)
+	idxDir := t.TempDir()
+	_, ts := startServer(t, Options{Root: fx.root, IndexDir: idxDir, IndexSpacing: 32 << 10})
+
+	rangeBody(t, ts.URL+"/corpus.txt.gz", 0, 1024, http.StatusPartialContent)
+	sc := filepath.Join(idxDir, "corpus.txt.gz"+gzidx.Ext)
+	if _, err := os.Stat(sc); err != nil {
+		t.Fatalf("sidecar not persisted: %v", err)
+	}
+
+	// Fresh server, same index dir: promotion happens at resolve, before
+	// any decode.
+	_, ts2 := startServer(t, Options{Root: fx.root, IndexDir: idxDir})
+	got := rangeBody(t, ts2.URL+"/corpus.txt.gz", 200<<10, 8192, http.StatusPartialContent)
+	if !bytes.Equal(got, fx.src[200<<10:200<<10+8192]) {
+		t.Fatal("range served from persisted sidecar differs")
+	}
+	m := metricsJSON(t, ts2.URL)
+	if m["sequential_decodes_total"] != 0 {
+		t.Fatalf("warm-sidecar server ran %v sequential decodes, want 0", m["sequential_decodes_total"])
+	}
+	if m["sidecar_loads_total"] != 1 {
+		t.Fatalf("%v sidecar loads, want 1", m["sidecar_loads_total"])
+	}
+}
+
+// TestSidecarAlongsideSource: a sidecar shipped next to the object (built
+// offline, IndexDir unset) is found through the Source seam.
+func TestSidecarAlongsideSource(t *testing.T) {
+	fx := newFixture(t)
+	name := filepath.Join(fx.root, "corpus.txt.gz")
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := gzidx.Build(data, deflate.FormatGzip, 32<<10, deflate.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	st, err := os.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := gzidx.Encode(idx, st.ModTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gzidx.WriteFileAtomic(name+gzidx.Ext, enc); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startServer(t, Options{Root: fx.root})
+	got := rangeBody(t, ts.URL+"/corpus.txt.gz", 123, 4567, http.StatusPartialContent)
+	if !bytes.Equal(got, fx.src[123:123+4567]) {
+		t.Fatal("range served from source sidecar differs")
+	}
+	m := metricsJSON(t, ts.URL)
+	if m["sequential_decodes_total"] != 0 || m["sidecar_loads_total"] != 1 {
+		t.Fatalf("seq=%v loads=%v, want 0/1", m["sequential_decodes_total"], m["sidecar_loads_total"])
+	}
+}
+
+// TestSidecarCorruptRebuilt: a damaged sidecar must be ignored (fall back
+// to the counting decode) and then replaced with a valid one.
+func TestSidecarCorruptRebuilt(t *testing.T) {
+	fx := newFixture(t)
+	idxDir := t.TempDir()
+	sc := filepath.Join(idxDir, "corpus.txt.gz"+gzidx.Ext)
+	if err := os.WriteFile(sc, []byte("GZX1 this is not a sidecar"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startServer(t, Options{Root: fx.root, IndexDir: idxDir, IndexSpacing: 32 << 10})
+	got := rangeBody(t, ts.URL+"/corpus.txt.gz", 50<<10, 2048, http.StatusPartialContent)
+	if !bytes.Equal(got, fx.src[50<<10:50<<10+2048]) {
+		t.Fatal("body differs with corrupt sidecar present")
+	}
+	m := metricsJSON(t, ts.URL)
+	if m["sequential_decodes_total"] != 1 {
+		t.Fatalf("%v sequential decodes, want 1 (corrupt sidecar must not be trusted)",
+			m["sequential_decodes_total"])
+	}
+	if m["sidecar_errors_total"] < 1 {
+		t.Fatalf("corrupt sidecar not counted: %v", m["sidecar_errors_total"])
+	}
+	// The bad file was atomically replaced by the rebuild.
+	st, err := os.Stat(filepath.Join(fx.root, "corpus.txt.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gzidx.LoadFile(sc, st.Size(), st.ModTime()); err != nil {
+		t.Fatalf("rebuilt sidecar still invalid: %v", err)
+	}
+}
+
+// TestSidecarStaleReplaced: a sidecar describing an older generation of
+// the source (different mtime) must be ignored and replaced.
+func TestSidecarStaleReplaced(t *testing.T) {
+	fx := newFixture(t)
+	idxDir := t.TempDir()
+	name := filepath.Join(fx.root, "corpus.txt.gz")
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := gzidx.Build(data, deflate.FormatGzip, 32<<10, deflate.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode against a past mtime, then age the source past it: the
+	// sidecar is structurally valid but stale.
+	old := time.Now().Add(-time.Hour)
+	enc, err := gzidx.Encode(idx, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := filepath.Join(idxDir, "corpus.txt.gz"+gzidx.Ext)
+	if err := gzidx.WriteFileAtomic(sc, enc); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startServer(t, Options{Root: fx.root, IndexDir: idxDir, IndexSpacing: 32 << 10})
+	got := rangeBody(t, ts.URL+"/corpus.txt.gz", 0, 4096, http.StatusPartialContent)
+	if !bytes.Equal(got, fx.src[:4096]) {
+		t.Fatal("body differs with stale sidecar present")
+	}
+	m := metricsJSON(t, ts.URL)
+	if m["sequential_decodes_total"] != 1 {
+		t.Fatalf("stale sidecar was trusted: %v sequential decodes", m["sequential_decodes_total"])
+	}
+	st, err := os.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gzidx.LoadFile(sc, st.Size(), st.ModTime()); err != nil {
+		t.Fatalf("stale sidecar not replaced: %v", err)
+	}
+}

@@ -2,12 +2,14 @@ package gompresso
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
 	"sync"
 
 	"gompresso/internal/blockcache"
+	"gompresso/internal/deflate"
 	"gompresso/internal/format"
 	"gompresso/internal/parallel"
 )
@@ -36,6 +38,14 @@ type ReaderAt struct {
 	// every read decodes — the original PR-2 path, byte-identical.
 	cache *blockcache.Cache
 	obj   uint64
+
+	// Foreign mode (Codec.NewReaderAtWithIndex): a gzip/zlib stream made
+	// randomly accessible through a seek index. "Blocks" are the index's
+	// checkpointed chunks — variable-length, so every block-arithmetic
+	// site goes through blockOf/blockStart/rawLen — and decode seeds a
+	// deflate engine from the checkpoint window instead of parsing a
+	// container record. hdr carries only RawSize; idx is nil.
+	fidx *deflate.Index
 }
 
 // NewReaderAt opens a Gompresso container stored in the first size bytes
@@ -84,6 +94,26 @@ func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context, f
 	return r, nil
 }
 
+// newForeignReaderAt opens a foreign compressed stream (gzip/zlib/raw
+// deflate, the first size bytes of ra) for random access through a seek
+// index built over exactly those bytes. The index is validated against
+// size here; staleness against the live source (mtime) is the caller's
+// responsibility, as with any cached resolution.
+func newForeignReaderAt(ra io.ReaderAt, size int64, idx *deflate.Index, workers int, ctx context.Context, cache *blockcache.Cache) (*ReaderAt, error) {
+	if idx == nil {
+		return nil, errors.New("gompresso: nil seek index")
+	}
+	if err := idx.Validate(size); err != nil {
+		return nil, err
+	}
+	r := &ReaderAt{ra: ra, fidx: idx, workers: workers, ctx: ctx, cache: cache}
+	r.hdr.RawSize = uint64(idx.RawSize)
+	if cache != nil {
+		r.obj = blockcache.NextObject()
+	}
+	return r, nil
+}
+
 // Header returns the container's file header.
 func (r *ReaderAt) Header() FileHeader { return r.hdr }
 
@@ -111,6 +141,7 @@ func recoverToErr(errp *error) {
 func (r *ReaderAt) Size() int64 { return int64(r.hdr.RawSize) }
 
 // blockSpan returns the raw block size used for block arithmetic.
+// Native containers only — foreign chunks are variable-length.
 func (r *ReaderAt) blockSpan() int64 {
 	if bs := int64(r.hdr.BlockSize); bs > 0 {
 		return bs
@@ -118,9 +149,30 @@ func (r *ReaderAt) blockSpan() int64 {
 	return int64(r.hdr.RawSize) // degenerate single-block container
 }
 
+// blockOf returns the block (native) or checkpointed chunk (foreign)
+// containing decompressed offset off.
+func (r *ReaderAt) blockOf(off int64) int64 {
+	if r.fidx != nil {
+		return int64(r.fidx.ChunkOf(off))
+	}
+	return off / r.blockSpan()
+}
+
+// blockStart returns the decompressed offset block bi begins at.
+func (r *ReaderAt) blockStart(bi int64) int64 {
+	if r.fidx != nil {
+		return r.fidx.ChunkStart(int(bi))
+	}
+	return bi * r.blockSpan()
+}
+
 // rawLen returns the decompressed length block bi must have: BlockSize
-// for every block but the last, the remainder for the last.
+// for every block but the last, the remainder for the last; a foreign
+// chunk's span comes from the index.
 func (r *ReaderAt) rawLen(bi int64) int64 {
+	if r.fidx != nil {
+		return r.fidx.ChunkLen(int(bi))
+	}
 	bs := r.blockSpan()
 	n := int64(r.hdr.RawSize) - bi*bs
 	if n > bs {
@@ -156,16 +208,15 @@ func (r *ReaderAt) readAtCtx(ctx context.Context, p []byte, off int64) (int, err
 	if int64(want) > raw-off {
 		want = int(raw - off)
 	}
-	bs := r.blockSpan()
-	b0 := off / bs
-	nb := (off+int64(want)-1)/bs - b0 + 1
+	b0 := r.blockOf(off)
+	nb := r.blockOf(off+int64(want)-1) - b0 + 1
 	errs := make([]error, nb)
 	workers := parallel.Workers(int(nb), r.workers)
 	scratch := make([]*format.DecodeScratch, workers)
 	// Cached mode leaves scratch nil: on the hot path (hits) it is never
 	// touched, and a miss pulls scratch from the pool inside the decode
 	// closure (cacheBlock) instead of paying per-call round-trips here.
-	if r.hdr.Variant == format.VariantBit && r.cache == nil {
+	if r.fidx == nil && r.hdr.Variant == format.VariantBit && r.cache == nil {
 		for i := range scratch {
 			scratch[i] = format.GetScratch()
 		}
@@ -190,7 +241,7 @@ func (r *ReaderAt) readAtCtx(ctx context.Context, p []byte, off int64) (int, err
 	for k, err := range errs {
 		if err != nil {
 			// Everything before the failing block was decoded in full.
-			good := (b0+int64(k))*bs - off
+			good := r.blockStart(b0+int64(k)) - off
 			if good < 0 {
 				good = 0
 			}
@@ -227,7 +278,7 @@ func pooledBuf(pool *sync.Pool, n int) *[]byte {
 // fully inside the request decode straight into p; edge blocks decode into
 // a pooled buffer first.
 func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScratch) error {
-	rawStart := bi * r.blockSpan()
+	rawStart := r.blockStart(bi)
 	rawLen := r.rawLen(bi)
 	lo, hi := rawStart, rawStart+rawLen
 	if lo < off {
@@ -257,6 +308,12 @@ func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScr
 // decodeBlockInto fetches, parses, and decodes block bi into dst, whose
 // length must be the block's expected raw length (rawLen(bi)).
 func (r *ReaderAt) decodeBlockInto(dst []byte, bi int64, sc *format.DecodeScratch) error {
+	if r.fidx != nil {
+		if err := r.fidx.DecodeChunkInto(dst, r.ra, int(bi)); err != nil {
+			return fmt.Errorf("gompresso: chunk %d: %w", bi, err)
+		}
+		return nil
+	}
 	start, end := r.idx.Offsets[bi], r.idx.Offsets[bi+1]
 	cp := pooledBuf(&compBufPool, int(end-start))
 	defer compBufPool.Put(cp)
@@ -295,7 +352,7 @@ func (r *ReaderAt) readBlockCached(ctx context.Context, p []byte, off int64, bi 
 		return err
 	}
 	defer buf.Release()
-	rawStart := bi * r.blockSpan()
+	rawStart := r.blockStart(bi)
 	data := buf.Bytes()
 	lo, hi := rawStart, rawStart+int64(len(data))
 	if lo < off {
@@ -379,8 +436,7 @@ func (r *ReaderAt) WriteRangeTo(ctx context.Context, w io.Writer, off, length in
 // to w in order. Window memory is bounded by workers × BlockSize, like
 // every other parallel path in the package.
 func (r *ReaderAt) writeRangeCached(ctx context.Context, w io.Writer, off, length int64) (int64, error) {
-	bs := r.blockSpan()
-	b0, bLast := off/bs, (off+length-1)/bs
+	b0, bLast := r.blockOf(off), r.blockOf(off+length-1)
 	nb := bLast - b0 + 1
 	window := int64(parallel.Workers(int(min(nb, 1<<20)), r.workers))
 	bufs := make([]*blockcache.Buf, window)
@@ -408,7 +464,7 @@ func (r *ReaderAt) writeRangeCached(ctx context.Context, w io.Writer, off, lengt
 				return written, err
 			}
 			data := buf.Bytes()
-			rawStart := bi * bs
+			rawStart := r.blockStart(bi)
 			lo, hi := rawStart, rawStart+int64(len(data))
 			if lo < off {
 				lo = off
@@ -438,6 +494,27 @@ func (r *ReaderAt) writeRangeCached(ctx context.Context, w io.Writer, off, lengt
 	return written, nil
 }
 
+// spanHint is the typical block length used to size the direct path's
+// staging buffer: the exact block size natively, the average chunk span
+// (clamped to something sensible) for foreign indexes.
+func (r *ReaderAt) spanHint() int64 {
+	if r.fidx == nil {
+		return r.blockSpan()
+	}
+	n := int64(r.fidx.NumChunks())
+	if n == 0 {
+		return 1
+	}
+	avg := r.fidx.RawSize / n
+	if avg < 64<<10 {
+		avg = 64 << 10
+	}
+	if avg > 4<<20 {
+		avg = 4 << 20
+	}
+	return avg
+}
+
 // releaseAll unpins any still-held window buffers after an early exit.
 func releaseAll(bufs []*blockcache.Buf) {
 	for i, b := range bufs {
@@ -452,8 +529,7 @@ func releaseAll(bufs []*blockcache.Buf) {
 // decode in parallel through readAtCtx into a pooled buffer, then drain
 // to w.
 func (r *ReaderAt) writeRangeDirect(ctx context.Context, w io.Writer, off, length int64) (int64, error) {
-	bs := r.blockSpan()
-	chunk := 4 * bs
+	chunk := 4 * r.spanHint()
 	if chunk > length {
 		chunk = length
 	}

@@ -12,8 +12,10 @@ set -euo pipefail
 
 work=$(mktemp -d)
 srv_pid=""
+srv2_pid=""
 cleanup() {
   [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true
+  [ -n "$srv2_pid" ] && kill "$srv2_pid" 2>/dev/null || true
   rm -rf "$work"
 }
 trap cleanup EXIT
@@ -38,7 +40,7 @@ grep -q '"index": true' "$work/stat.json"
 grep -q '"index": false' "$work/stat2.json"
 
 addr=127.0.0.1:18427
-"$bin" serve -addr "$addr" -root "$root" -cache 16 -quiet 2>"$work/serve.log" &
+"$bin" serve -addr "$addr" -root "$root" -cache 16 -index-dir "$root" -index-spacing 65536 -quiet 2>"$work/serve.log" &
 srv_pid=$!
 for _ in $(seq 1 100); do
   curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
@@ -99,4 +101,46 @@ grep -q '"requests_total"' "$work/metrics.json"
 curl -sf "http://$addr/metrics" > "$work/metrics.txt"
 grep -q '^cache_hit_rate ' "$work/metrics.txt"
 
-echo "serve smoke: OK (size=$size, cache_hits=$hits)"
+# Foreign random access (PR 7): the first .gz request above ran the one
+# counting decode, captured the seek index, and persisted a sidecar.
+[ -f "$root/corpus.txt.gz.gzx" ] || { echo "FAIL: sidecar not persisted beside corpus.txt.gz"; exit 1; }
+"$bin" stat -json "$root/corpus.txt.gz" > "$work/stat3.json"
+grep -q '"sidecar": "valid"' "$work/stat3.json"
+[ "$(grep raw_size "$work/stat3.json" | tr -dc 0-9)" = "$size" ]
+
+# Hot .gz ranges: byte-identical to gzip -dc slices, and the sequential
+# decode counter must stay flat — every range decodes covering chunks only.
+gzip -dc "$root/corpus.txt.gz" > "$work/plain"
+cmp "$work/plain" "$work/corpus.txt"
+seq_before=$(grep -o '"sequential_decodes_total": [0-9]*' "$work/metrics.json" | tr -dc 0-9)
+check_gz() { # <addr> <offset> <length>
+  curl -sf -H "Range: bytes=$2-$(($2+$3-1))" "http://$1/corpus.txt.gz" > "$work/got"
+  tail -c "+$(($2+1))" "$work/plain" > "$work/tail"
+  head -c "$3" "$work/tail" > "$work/want"
+  cmp "$work/got" "$work/want" || { echo "FAIL: .gz range at $2+$3 differs from gzip -dc"; exit 1; }
+}
+check_gz "$addr" 0 4096
+check_gz "$addr" 100000 65536
+check_gz "$addr" $((size - 2000)) 2000
+curl -sf "http://$addr/metrics?format=json" > "$work/metrics2.json"
+seq_after=$(grep -o '"sequential_decodes_total": [0-9]*' "$work/metrics2.json" | tr -dc 0-9)
+[ "${seq_after:-0}" = "${seq_before:-0}" ] || {
+  echo "FAIL: hot .gz ranges reran the sequential decode ($seq_before -> $seq_after)"; exit 1; }
+
+# A fresh server over the same root loads the sidecar at resolve: ranged
+# .gz requests without a single sequential decode.
+addr2=127.0.0.1:18428
+"$bin" serve -addr "$addr2" -root "$root" -cache 16 -index-dir "$root" -quiet 2>>"$work/serve.log" &
+srv2_pid=$!
+for _ in $(seq 1 100); do
+  curl -sf "http://$addr2/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+check_gz "$addr2" 54321 32768
+curl -sf "http://$addr2/metrics?format=json" > "$work/metrics3.json"
+seq2=$(grep -o '"sequential_decodes_total": [0-9]*' "$work/metrics3.json" | tr -dc 0-9)
+loads2=$(grep -o '"sidecar_loads_total": [0-9]*' "$work/metrics3.json" | tr -dc 0-9)
+[ "${seq2:-1}" = "0" ] || { echo "FAIL: warm-sidecar server ran $seq2 sequential decodes"; exit 1; }
+[ "${loads2:-0}" -ge 1 ] || { echo "FAIL: warm-sidecar server never loaded the sidecar"; exit 1; }
+
+echo "serve smoke: OK (size=$size, cache_hits=$hits, sidecar_loads=$loads2)"

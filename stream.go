@@ -160,6 +160,38 @@ func newReader(r io.Reader, opt ReaderOptions, ctx context.Context, form Format)
 // Header returns the container's file header.
 func (r *Reader) Header() FileHeader { return r.hdr }
 
+// SeekIndex is a seek index over a foreign (gzip/zlib) stream: block-
+// boundary checkpoints — compressed bit offset, decompressed offset,
+// 32 KiB window — captured during a full decode, enough to re-enter the
+// stream at any checkpoint. It is what Codec.NewReaderAtWithIndex turns
+// into random access, and what the sidecar tooling persists.
+type SeekIndex = deflate.Index
+
+// CollectForeignIndex arranges for this Reader to capture a SeekIndex as
+// a side effect of fully decoding a foreign stream: checkpoints every
+// `every` decompressed bytes (0 selects the default ~1 MiB spacing). The
+// serving layer calls it before its first counting decode of a `.gz`
+// object, so the index costs no extra pass. It reports false — and
+// captures nothing — on native containers (which carry their own block
+// index) or once reading has begun.
+func (r *Reader) CollectForeignIndex(every int64) bool {
+	return r.fr != nil && r.fr.CollectIndex(every) == nil
+}
+
+// ForeignIndex returns the index captured by CollectForeignIndex, or nil
+// before the stream has fully decoded (the index is only complete at
+// EOF).
+func (r *Reader) ForeignIndex() *SeekIndex {
+	if r.fr == nil {
+		return nil
+	}
+	idx, err := r.fr.Index()
+	if err != nil {
+		return nil
+	}
+	return idx
+}
+
 // workersFor returns the decode concurrency for a stream starting at block
 // first: the reader's normalized worker budget (newReader ran
 // core.Pipeline.Normalize, the shared defaulting), clamped to the blocks
