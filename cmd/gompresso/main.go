@@ -12,6 +12,7 @@
 //	gompresso verify     [flags] <in>     (compress+decompress in memory)
 //	gompresso index      [flags] <in>     (build a .gzx seek-index sidecar for a .gz/.zz)
 //	gompresso serve      [flags]          (HTTP range server over -root)
+//	gompresso version    [-v]             (build metadata from the embedded build info)
 //
 // compress streams its input through the parallel gompresso.Writer, so
 // arbitrarily large inputs (including pipes) compress in bounded memory.
@@ -54,6 +55,8 @@ func main() {
 		err = indexCmd(args)
 	case "serve":
 		err = serveCmd(args)
+	case "version":
+		err = versionCmd(args)
 	default:
 		usage()
 	}

@@ -90,6 +90,7 @@ func serveCmd(args []string) error {
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,
 	}
+	logger.Printf("%s", buildDescription())
 	logger.Printf("listening on http://%s root=%s cache=%dMiB", ln.Addr(), *root, *cacheMB)
 
 	// Graceful shutdown: flip /readyz so load balancers stop routing,

@@ -14,6 +14,7 @@ import (
 
 // statJSON is the machine-readable shape of `gompresso stat -json`.
 type statJSON struct {
+	Tool       string  `json:"tool,omitempty"` // build identity of the binary that produced this
 	Format     string  `json:"format"`
 	CompSize   int64   `json:"compressed_size"`
 	RawSize    int64   `json:"raw_size,omitempty"`
@@ -122,6 +123,7 @@ func statCmd(args []string) error {
 	}
 
 	if *asJSON {
+		st.Tool = buildDescription()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(&st)

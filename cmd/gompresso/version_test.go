@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildDescription(t *testing.T) {
+	desc := buildDescription()
+	if !strings.HasPrefix(desc, "gompresso ") {
+		t.Errorf("buildDescription() = %q, want gompresso prefix", desc)
+	}
+	if !strings.Contains(desc, "go1") {
+		t.Errorf("buildDescription() = %q, want a Go toolchain version", desc)
+	}
+	if err := versionCmd(nil); err != nil {
+		t.Errorf("versionCmd: %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+// Command gompressovet is the repository's multichecker: it runs the
+// five custom analyzers from internal/analysis/passes over the module
+// and exits nonzero on any unsuppressed finding. CI's lint job runs it
+// next to `go vet` (scripts/lint.sh is the single local entry point).
+//
+// Usage:
+//
+//	gompressovet [-v] [-tests] [-vet] [patterns...]
+//
+// Patterns default to ./... and follow the go command's package
+// pattern syntax ("./...", "./internal/server", full import paths).
+// Intentional exceptions are annotated in source:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above. -v prints suppressed findings
+// too, so exceptions stay auditable. -vet additionally runs `go vet`
+// (copylocks, lostcancel, unusedresult, and the rest of the curated
+// standard passes) and merges its exit status, making this binary a
+// one-shot lint gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"gompresso/internal/analysis"
+	"gompresso/internal/analysis/passes"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print suppressed findings too")
+	withTests := flag.Bool("tests", false, "analyze in-package _test.go files as well")
+	withVet := flag.Bool("vet", false, "also run `go vet` on the same patterns")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range passes.All() {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	if *withVet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = dir
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	findings, err := run(dir, patterns, *withTests)
+	if err != nil {
+		fatal(err)
+	}
+	analysis.Write(os.Stdout, findings, *verbose)
+	if open := analysis.Unsuppressed(findings); len(open) > 0 {
+		fmt.Fprintf(os.Stderr, "gompressovet: %d finding(s)\n", len(open))
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func run(dir string, patterns []string, withTests bool) ([]analysis.Finding, error) {
+	modPath, err := analysis.ModulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := analysis.NewLoader(analysis.ModuleLocal(modPath, dir))
+	l.IncludeTests = withTests
+	paths, err := analysis.Match(dir, modPath, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*analysis.Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return analysis.Run(pkgs, passes.All(), l.Fset)
+}
+
+// moduleRoot finds the enclosing module directory, so the tool works
+// from any subdirectory, like go vet.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:max(0, lastSlash(dir))]
+		if parent == "" || parent == dir {
+			return "", fmt.Errorf("gompressovet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' || s[i] == '\\' {
+			return i
+		}
+	}
+	return -1
+}
+
+func firstLine(s string) string {
+	for i := range s {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gompressovet:", err)
+	os.Exit(1)
+}

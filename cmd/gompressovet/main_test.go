@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gompresso/internal/analysis"
+)
+
+// TestRunOnePackage drives the multichecker's run() over one small real
+// package from the module root discovered the way main() discovers it.
+func TestRunOnePackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the stdlib source importer; skipped in -short")
+	}
+	dir, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := filepath.Glob(filepath.Join(dir, "go.mod")); statErr != nil {
+		t.Fatal(statErr)
+	}
+	findings, err := run(dir, []string{"./internal/perf"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open := analysis.Unsuppressed(findings); len(open) > 0 {
+		for _, f := range open {
+			t.Errorf("unexpected finding: %s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+
+	if _, err := run(dir, []string{"./no/such/dir"}, false); err == nil {
+		t.Error("run on a nonexistent package must fail")
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	if got := firstLine("one\ntwo"); got != "one" {
+		t.Errorf("firstLine = %q", got)
+	}
+	if got := firstLine("only"); got != "only" {
+		t.Errorf("firstLine = %q", got)
+	}
+}
+
+func TestLastSlash(t *testing.T) {
+	if got := lastSlash("/a/b"); got != 2 {
+		t.Errorf("lastSlash(/a/b) = %d", got)
+	}
+	if got := lastSlash("plain"); got != -1 {
+		t.Errorf("lastSlash(plain) = %d", got)
+	}
+}

@@ -159,6 +159,7 @@ func WithCompressOptions(o Options) Option { return func(c *Codec) { c.copt = o 
 // decompression, GOMAXPROCS workers. Invalid values are rejected with an
 // error wrapping ErrInvalidOption.
 func New(opts ...Option) (*Codec, error) {
+	//lint:allow ctxguard construction-time default, overridden by WithContext
 	c := &Codec{ctx: context.Background()}
 	c.copt.Variant = VariantBit
 	c.dopt.Engine = EngineHost
@@ -166,7 +167,7 @@ func New(opts ...Option) (*Codec, error) {
 		opt(c)
 	}
 	if c.ctx == nil {
-		c.ctx = context.Background()
+		c.ctx = context.Background() //lint:allow ctxguard WithContext(nil) falls back to the root
 	}
 	if c.form < FormatAuto || c.form > FormatDeflate {
 		return nil, fmt.Errorf("gompresso: %w: unknown format %d", ErrInvalidOption, int(c.form))
@@ -282,7 +283,7 @@ func (c *Codec) Info(data []byte) (FileHeader, error) { return core.Info(data) }
 // pipeline and output-mode details. The container's bytes are identical to
 // what Codec.Compress would produce for the concatenated input.
 func (c *Codec) NewWriter(w io.Writer) *Writer {
-	return newWriter(w, c.copt, c.pipe, c.ctx)
+	return newWriter(c.ctx, w, c.copt, c.pipe)
 }
 
 // NewReader returns a streaming decompressor for r running on the codec's
@@ -302,7 +303,7 @@ func (c *Codec) NewReaderContext(ctx context.Context, r io.Reader) (*Reader, err
 	if ctx == nil {
 		ctx = c.ctx
 	}
-	return newReader(r, ReaderOptions{Workers: c.pipe.Workers, Readahead: c.pipe.Readahead}, ctx, c.form)
+	return newReader(ctx, r, ReaderOptions{Workers: c.pipe.Workers, Readahead: c.pipe.Readahead}, c.form)
 }
 
 // NewReaderAt opens a container stored in the first size bytes of ra for
@@ -315,7 +316,7 @@ func (c *Codec) NewReaderContext(ctx context.Context, r io.Reader) (*Reader, err
 // With WithCache, every ReaderAt from this codec shares the codec's
 // decoded-block cache (each under its own object identity).
 func (c *Codec) NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
-	return newReaderAt(ra, size, c.pipe.Workers, c.ctx, c.form, c.cache)
+	return newReaderAt(c.ctx, ra, size, c.pipe.Workers, c.form, c.cache)
 }
 
 // NewReaderAtWithIndex opens a foreign compressed stream (gzip/zlib —
@@ -328,5 +329,5 @@ func (c *Codec) NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
 // The index is validated against size; keeping it fresh against a
 // mutable source is the caller's job, as with any cached resolution.
 func (c *Codec) NewReaderAtWithIndex(ra io.ReaderAt, size int64, idx *SeekIndex) (*ReaderAt, error) {
-	return newForeignReaderAt(ra, size, idx, c.pipe.Workers, c.ctx, c.cache)
+	return newForeignReaderAt(c.ctx, ra, size, idx, c.pipe.Workers, c.cache)
 }

@@ -141,9 +141,9 @@ func foreignForm(f Format) deflate.Format {
 // and synthesizes host-engine stats for it.
 func decompressForeign(data []byte, f Format, c *Codec) ([]byte, *DecompressStats, error) {
 	start := time.Now()
-	r, err := deflate.NewReaderBytes(data, foreignForm(f), deflate.Options{
+	r, err := deflate.NewReaderBytes(c.ctx, data, foreignForm(f), deflate.Options{
 		Workers: c.pipe.Workers, Readahead: c.pipe.Readahead,
-	}, c.ctx)
+	})
 	if err != nil {
 		return nil, nil, err
 	}

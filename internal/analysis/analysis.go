@@ -1,0 +1,76 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis driver model on the standard library
+// alone: an Analyzer is a named check over one type-checked package, a
+// Pass hands it the syntax trees and type information, and the checker
+// (checker.go) runs a suite of analyzers over the module with
+// //lint:allow suppression handling.
+//
+// The shape deliberately mirrors x/tools so the five custom analyzers
+// under passes/ read like any other vet pass; the driver differs only
+// in how packages are loaded (load.go: go/parser + go/types with the
+// "source" importer, so the toolchain needs no network and no export
+// data) and in the built-in suppression directive:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line, or the line directly above it, records an
+// intentional exception. The checker still surfaces suppressed findings
+// in verbose mode so the escape hatch cannot rot silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: the invariant the analyzer
+	// enforces and why the codebase cares.
+	Doc string
+	// Run applies the check to one package and reports findings via
+	// pass.Report or pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass is the interface between one analyzer and one package of the
+// program being checked.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixture
+// source, in the style of golang.org/x/tools' package of the same name:
+//
+//	bad()  // want `regexp matching the message`
+//
+// A want comment holds one or more Go-quoted strings (double quotes or
+// backquotes), each a regular expression that must match exactly one
+// diagnostic reported on that line. Unmatched diagnostics and unmatched
+// expectations both fail the test. Suppressed findings (//lint:allow)
+// are treated as absent, which lets fixtures also prove the escape
+// hatch works.
+//
+// Fixtures live under testdata/src/<importpath>/, the tree layout that
+// analysis.TreeLocal resolves.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gompresso/internal/analysis"
+)
+
+// expectation is one want regexp, positioned, with a matched flag.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	used bool
+}
+
+// Run loads each fixture package from testdata/src, applies the
+// analyzer, and compares unsuppressed findings against the fixtures'
+// want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := analysis.NewLoader(analysis.TreeLocal(filepath.Join(testdata, "src")))
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a}, l.Fset)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		w, err := parseWants(l.Fset, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, w...)
+	}
+
+	for _, f := range analysis.Unsuppressed(findings) {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// claim marks the first unused expectation on the finding's line whose
+// regexp matches the message.
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.used && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the expectations from a package's comments.
+func parseWants(fset *token.FileSet, pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rxs, err := parsePatterns(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want comment: %w", pos, err)
+				}
+				for _, rx := range rxs {
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns reads the sequence of Go-quoted strings after "want".
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		var lit string
+		switch s[0] {
+		case '"':
+			end := quotedEnd(s)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end])
+			if err != nil {
+				return nil, err
+			}
+			s = s[end:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted pattern, found %q", s)
+		}
+		rx, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rx)
+	}
+	return out, nil
+}
+
+// quotedEnd returns the index just past the closing double quote of the
+// Go string literal opening at s[0], honoring backslash escapes.
+func quotedEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i + 1
+		}
+	}
+	return -1
+}

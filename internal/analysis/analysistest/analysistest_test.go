@@ -1,0 +1,94 @@
+package analysistest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gompresso/internal/analysis"
+)
+
+// toytest flags every function whose name starts with Bad, quoting the
+// name so fixtures exercise escaped-quote want patterns.
+var toytest = &analysis.Analyzer{
+	Name: "toytest",
+	Doc:  "flags functions named Bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Pos(), "bad func %q", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// TestHarness runs the harness against a fixture written on the fly:
+// double-quoted wants (with escapes), backquoted wants, and a
+// //lint:allow'd finding that must count as absent.
+func TestHarness(t *testing.T) {
+	testdata := t.TempDir()
+	dir := filepath.Join(testdata, "src", "toy")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package toy
+
+func BadA() {} // want "bad func \"BadA\""
+
+func BadB() {} // want ` + "`bad func \"BadB\"`" + `
+
+//lint:allow toytest proves suppressed findings are treated as absent
+func BadC() {}
+
+func Fine() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	Run(t, testdata, toytest, "toy")
+}
+
+func TestParsePatterns(t *testing.T) {
+	rxs, err := parsePatterns("\"one\" `two.*` \"esc\\\"aped\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rxs) != 3 {
+		t.Fatalf("parsed %d patterns, want 3", len(rxs))
+	}
+	if !rxs[1].MatchString("twofold") {
+		t.Error("backquoted pattern did not compile to a usable regexp")
+	}
+	if !rxs[2].MatchString(`esc"aped`) {
+		t.Error("escaped quote not honored")
+	}
+
+	for _, bad := range []string{"\"unterminated", "`unterminated", "bare", "\"bad[rx\""} {
+		if _, err := parsePatterns(bad); err == nil {
+			t.Errorf("parsePatterns(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestClaim(t *testing.T) {
+	rx := regexp.MustCompile("^msg$")
+	wants := []*expectation{{file: "f.go", line: 3, rx: rx}}
+	f := analysis.Finding{Message: "msg"}
+	f.Pos.Filename, f.Pos.Line = "f.go", 3
+	if !claim(wants, f) {
+		t.Error("matching finding not claimed")
+	}
+	if claim(wants, f) {
+		t.Error("expectation claimed twice")
+	}
+	f.Pos.Line = 4
+	if claim(wants, f) {
+		t.Error("finding on the wrong line claimed an expectation")
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic from one analyzer, resolved to a position
+// and checked against the file's //lint:allow directives.
+type Finding struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool   // an applicable //lint:allow directive matched
+	Reason     string // the directive's stated reason, when suppressed
+}
+
+// allowDirective matches "lint:allow name1[,name2] reason..." after the
+// comment markers have been stripped.
+var allowDirective = regexp.MustCompile(`^lint:allow\s+([A-Za-z0-9_,-]+)(?:\s+(.*))?$`)
+
+// allowsFor indexes a package's //lint:allow directives:
+// filename → line → analyzer name → reason.
+type allowsFor map[string]map[int]map[string]string
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowsFor {
+	out := make(allowsFor)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := allowDirective.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]string)
+					out[pos.Filename] = lines
+				}
+				byName := lines[pos.Line]
+				if byName == nil {
+					byName = make(map[string]string)
+					lines[pos.Line] = byName
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					byName[strings.TrimSpace(name)] = strings.TrimSpace(m[2])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// suppression returns whether a directive for analyzer covers
+// (filename, line): on the flagged line itself or the line directly
+// above it.
+func (a allowsFor) suppression(analyzer, filename string, line int) (string, bool) {
+	lines, ok := a[filename]
+	if !ok {
+		return "", false
+	}
+	for _, l := range []int{line, line - 1} {
+		if byName, ok := lines[l]; ok {
+			if reason, ok := byName[analyzer]; ok {
+				return reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Run applies every analyzer to every package and returns the findings,
+// sorted by position. Suppressed findings are included with Suppressed
+// set; callers gate on the unsuppressed ones.
+func Run(pkgs []*Package, analyzers []*Analyzer, fset *token.FileSet) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows := collectAllows(fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				f.Reason, f.Suppressed = allows.suppression(a.Name, pos.Filename, pos.Line)
+				findings = append(findings, f)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Unsuppressed filters findings down to the ones not covered by a
+// //lint:allow directive.
+func Unsuppressed(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Write renders findings one per line, vet style. With verbose set,
+// suppressed findings print too, marked with their directive's reason.
+func Write(w io.Writer, findings []Finding, verbose bool) {
+	for _, f := range findings {
+		if f.Suppressed {
+			if verbose {
+				fmt.Fprintf(w, "%s: [%s] suppressed: %s (reason: %s)\n", f.Pos, f.Analyzer, f.Message, f.Reason)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseForTest(t *testing.T, src string) (*token.FileSet, allowsFor) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, collectAllows(fset, []*ast.File{f})
+}
+
+func TestSuppression(t *testing.T) {
+	src := `package p
+
+func a() {
+	bad() //lint:allow foo the reason
+}
+
+//lint:allow bar,baz shared reason
+func b() {}
+
+//lint:allow nakedname
+func c() {}
+`
+	fset, allows := parseForTest(t, src)
+	_ = fset
+
+	if reason, ok := allows.suppression("foo", "x.go", 4); !ok || reason != "the reason" {
+		t.Errorf("same-line directive: got (%q, %v), want (\"the reason\", true)", reason, ok)
+	}
+	if _, ok := allows.suppression("foo", "x.go", 6); ok {
+		t.Error("directive two lines up must not apply")
+	}
+	// Line-above form: the directive on line 7 covers findings on line 8.
+	for _, name := range []string{"bar", "baz"} {
+		if reason, ok := allows.suppression(name, "x.go", 8); !ok || reason != "shared reason" {
+			t.Errorf("comma list %s: got (%q, %v)", name, reason, ok)
+		}
+	}
+	if _, ok := allows.suppression("other", "x.go", 8); ok {
+		t.Error("unlisted analyzer must not be suppressed")
+	}
+	if reason, ok := allows.suppression("nakedname", "x.go", 11); !ok || reason != "" {
+		t.Errorf("reasonless directive: got (%q, %v), want (\"\", true)", reason, ok)
+	}
+}
+
+func TestMatch(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "gompresso" {
+		t.Fatalf("ModulePath = %q, want gompresso", modPath)
+	}
+
+	all, err := Match(root, modPath, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"gompresso":                   false,
+		"gompresso/internal/server":   false,
+		"gompresso/internal/analysis": false,
+		"gompresso/cmd/gompressovet":  false,
+	}
+	for _, p := range all {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Match leaked a testdata package: %s", p)
+		}
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("Match(./...) missing %s", p)
+		}
+	}
+
+	sub, err := Match(root, modPath, []string{"./internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sub {
+		if !strings.HasPrefix(p, "gompresso/internal/analysis") {
+			t.Errorf("subtree pattern matched %s", p)
+		}
+	}
+	if len(sub) < 2 {
+		t.Errorf("subtree pattern found %d packages, want >= 2 (analysis, passes)", len(sub))
+	}
+
+	one, err := Match(root, modPath, []string{"./internal/server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != "gompresso/internal/server" {
+		t.Errorf("single pattern = %v", one)
+	}
+}

@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the program under
+// analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory holding the sources
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without the go command or
+// export data: local packages (the module under analysis, or a test
+// fixture tree) load from source directories supplied by Local, and
+// everything else — in practice the standard library — falls back to
+// the stdlib "source" importer, which type-checks GOROOT sources
+// directly. Fully offline, at the cost of type-checking the stdlib
+// closure once per process (cached in the importer afterwards).
+type Loader struct {
+	// Fset positions every file loaded through this loader.
+	Fset *token.FileSet
+	// Local resolves an import path to a source directory for packages
+	// that should be loaded (and analyzed) from local source. Returning
+	// ok=false delegates the path to the stdlib source importer.
+	Local func(path string) (dir string, ok bool)
+	// IncludeTests adds in-package *_test.go files. External test
+	// packages (package foo_test) are out of scope: their sources
+	// belong to a different package and go vet already covers them.
+	IncludeTests bool
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+// NewLoader builds a loader. local maps import paths to local source
+// directories (see Loader.Local).
+func NewLoader(local func(path string) (dir string, ok bool)) *Loader {
+	// The source importer type-checks dependencies from GOROOT source
+	// via build.Default. Cgo-flavored packages (net, os/user) would
+	// make it shell out to the cgo tool; forcing the pure-Go fallback
+	// keeps loading hermetic. srcimporter holds a pointer to
+	// build.Default, so flipping the global here is effective.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		Local:   local,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// ModuleLocal returns a Local resolver for the module rooted at dir
+// with the given module path (from its go.mod).
+func ModuleLocal(modPath, dir string) func(string) (string, bool) {
+	return func(path string) (string, bool) {
+		if path == modPath {
+			return dir, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+}
+
+// TreeLocal returns a Local resolver that maps every import path to a
+// subdirectory of root if one exists — the fixture layout used by
+// analysistest (testdata/src/<path>).
+func TreeLocal(root string) func(string) (string, bool) {
+	return func(path string) (string, bool) {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+}
+
+// ModulePath reads the module path from the go.mod in dir.
+func ModulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+}
+
+// Load returns the type-checked package at the given import path,
+// loading it (and, recursively, its local dependencies) on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.Local(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s is not a local package", path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFor(l, dir),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// loaderImporter adapts a Loader to types.ImporterFrom: local paths
+// load from source through the loader, the rest through the stdlib
+// source importer.
+type loaderImporter struct {
+	l   *Loader
+	dir string // importing package's directory, for ImportFrom
+}
+
+func importerFor(l *Loader, dir string) types.ImporterFrom {
+	return &loaderImporter{l: l, dir: dir}
+}
+
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, im.dir, 0)
+}
+
+func (im *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := im.l.Local(path); ok {
+		p, err := im.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return im.l.std.ImportFrom(path, srcDir, 0)
+}
+
+// LoadModule loads every package of the module rooted at dir whose
+// import path matches patterns. Supported patterns are "./..." (every
+// package), "./dir/..." (a subtree), and "./dir" or a full import path
+// (one package). Directories named testdata, hidden directories, and
+// directories without Go files are skipped, mirroring the go command.
+func LoadModule(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
+	modPath, err := ModulePath(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := NewLoader(ModuleLocal(modPath, dir))
+	paths, err := Match(dir, modPath, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, l.Fset, nil
+}
+
+// Match expands patterns to the module's matching import paths, in
+// lexical order.
+func Match(dir, modPath string, patterns []string) ([]string, error) {
+	all, err := modulePackages(dir, modPath)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := importPathFor(modPath, strings.TrimSuffix(pat, "/..."))
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+				}
+			}
+		default:
+			add(importPathFor(modPath, pat))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// importPathFor turns a "./x/y" pattern into a module import path;
+// full import paths pass through.
+func importPathFor(modPath, pat string) string {
+	if pat == "." || pat == "./" {
+		return modPath
+	}
+	if rest, ok := strings.CutPrefix(pat, "./"); ok {
+		return modPath + "/" + strings.Trim(rest, "/")
+	}
+	return pat
+}
+
+// modulePackages walks the module tree for directories containing Go
+// files.
+func modulePackages(dir, modPath string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, modPath)
+		} else {
+			out = append(out, modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,136 @@
+package passes
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gompresso/internal/analysis"
+)
+
+// Atomicfield enforces all-or-nothing atomicity per variable: once any
+// code in a package reads or writes a struct field (or package-level
+// variable) through sync/atomic's function API, every other access to
+// that variable must be atomic too. A single plain load next to
+// atomic.AddInt64 is a data race the race detector only catches when a
+// test happens to interleave the two — this pass catches it by
+// construction.
+//
+// The repo migrated its hot counters to typed atomics (atomic.Int64 et
+// al., which make mixed access unrepresentable); this analyzer guards
+// the remaining and future func-style uses, where the type system
+// offers no such protection.
+var Atomicfield = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a variable accessed via sync/atomic must be accessed atomically everywhere\n\n" +
+		"Mixing atomic.LoadX/AddX with plain reads or writes of the same field is a\n" +
+		"data race regardless of how the plain access is ordered.",
+	Run: runAtomicfield,
+}
+
+func runAtomicfield(pass *analysis.Pass) error {
+	// Pass A: collect every variable whose address is taken as the first
+	// argument of a sync/atomic function, remembering the operand nodes
+	// so pass B can tell sanctioned accesses from plain ones.
+	atomicVars := make(map[*types.Var]token.Pos) // var -> first atomic access
+	sanctioned := make(map[ast.Expr]bool)        // operand exprs inside atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicFunc(calleeFunc(pass, call)) {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(addr.X)
+			v := addressedVar(pass, operand)
+			if v == nil {
+				return true
+			}
+			sanctioned[operand] = true
+			if _, seen := atomicVars[v]; !seen {
+				atomicVars[v] = call.Pos()
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass B: any other access to one of those variables is a race.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok || sanctioned[e] {
+				return true
+			}
+			v := addressedVar(pass, e)
+			if v == nil {
+				return true
+			}
+			if first, ok := atomicVars[v]; ok {
+				pass.Reportf(e.Pos(),
+					"plain access to %s, which is accessed atomically at %s; use sync/atomic consistently",
+					v.Name(), pass.Fset.Position(first))
+				return false // don't re-flag the selector's components
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether fn is a package-level sync/atomic
+// read-modify-write or load/store function (not a typed-atomic method,
+// whose receivers already force atomic access).
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedVar resolves an expression to the struct field or
+// package-level variable it denotes, or nil. Local variables are
+// excluded: taking &local for one atomic op while other goroutines
+// cannot even name the variable is not the bug this pass hunts.
+func addressedVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+			return nil
+		}
+		// Qualified identifier (pkg.Var) or embedded selection.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && isGlobal(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && isGlobal(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// isGlobal reports whether v is a package-level variable.
+func isGlobal(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

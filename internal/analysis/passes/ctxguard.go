@@ -1,0 +1,95 @@
+package passes
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gompresso/internal/analysis"
+)
+
+// CtxguardPackages lists the request/decode-path packages where calling
+// context.Background or context.TODO is forbidden: every operation
+// there runs on behalf of a request whose cancellation must propagate
+// (PR 3 threaded ctx through both pipelines; PR 5/6 made per-request
+// cancellation a load-shedding and deadline mechanism). Construction-
+// time defaults (a codec's base context) are the only sanctioned
+// exceptions, annotated with //lint:allow ctxguard.
+var CtxguardPackages = []string{
+	"gompresso",
+	"gompresso/internal/server",
+	"gompresso/internal/blockcache",
+}
+
+// Ctxguard reports context misuse on request paths:
+//
+//  1. context.Background()/context.TODO() inside the packages listed in
+//     CtxguardPackages — a fresh root context detaches the work from
+//     the request that pays for it, defeating deadlines, shedding, and
+//     disconnect cancellation.
+//  2. In every analyzed package, a declared function or method whose
+//     parameter list takes a context.Context anywhere but first — the
+//     convention the whole pipeline relies on to keep ctx visibly
+//     threaded rather than smuggled through trailing parameters.
+var Ctxguard = &analysis.Analyzer{
+	Name: "ctxguard",
+	Doc: "forbid context.Background/TODO on request paths and enforce ctx-first signatures\n\n" +
+		"Request and decode paths must run under the caller's context so deadlines,\n" +
+		"load shedding, and client disconnects propagate into the decode pipelines.",
+	Run: runCtxguard,
+}
+
+func runCtxguard(pass *analysis.Pass) error {
+	// Entry points own the process lifetime; creating the root context
+	// there is the point of context.Background.
+	guarded := pass.Pkg.Name() != "main" && pkgMatches(pass.Pkg.Path(), CtxguardPackages)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !guarded {
+					return true
+				}
+				fn := calleeFunc(pass, n)
+				if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+					pass.Reportf(n.Pos(),
+						"context.%s() on a request path: thread the caller's ctx instead", fn.Name())
+				}
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxFirst flags a context.Context parameter that is not the first
+// parameter.
+func checkCtxFirst(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContextType(pass.TypeOf(field.Type)) && idx > 0 {
+			pass.Reportf(field.Type.Pos(),
+				"context.Context should be the first parameter (found at position %d)", idx+1)
+			return
+		}
+		idx += n
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

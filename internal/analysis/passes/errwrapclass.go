@@ -1,0 +1,177 @@
+package passes
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"gompresso/internal/analysis"
+)
+
+// Errwrapclass enforces that error chains survive wrapping. The serving
+// stack classifies failures by unwrapping: quarantine triggers on
+// errors.Is/As against deflate.Error, format.ErrFormat, lz77.ErrCorrupt
+// and friends; retry logic keys on fault.ErrInjected and context
+// errors; sidecar handling on gzidx.ErrSidecar. A fmt.Errorf that
+// formats an underlying error with %v or %s (instead of wrapping with
+// %w) silently severs that chain — the error still reads fine in a log
+// line, and the misclassification only shows up as a quarantined object
+// that should have been retried, or vice versa.
+//
+// Flagged:
+//
+//	fmt.Errorf("...: %v", err)        — chain severed; use %w
+//	fmt.Errorf("%w: ...: %s", e, err) — outer sentinel survives, inner cause severed
+//	errors.New(fmt.Sprintf(...))      — use fmt.Errorf (and %w for causes)
+//
+// Since Go 1.20 fmt.Errorf accepts multiple %w verbs, so "%w: %w" is
+// the fix for the sentinel-plus-cause shape. The rare call site that
+// must flatten an error into text (e.g. a value persisted to disk)
+// carries a //lint:allow errwrapclass annotation.
+var Errwrapclass = &analysis.Analyzer{
+	Name: "errwrapclass",
+	Doc: "error values formatted with %v/%s/%q instead of %w sever the errors.Is/As chain\n\n" +
+		"Quarantine, retry, and sidecar classification depend on typed errors surviving\n" +
+		"every wrap between the decoder and the server.",
+	Run: runErrwrapclass,
+}
+
+func runErrwrapclass(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // CLI leaves render errors terminally; chains end there
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			switch {
+			case isPkgFunc(fn, "fmt", "Errorf"):
+				checkErrorf(pass, call)
+			case isPkgFunc(fn, "errors", "New") && len(call.Args) == 1:
+				if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+					if isPkgFunc(calleeFunc(pass, inner), "fmt", "Sprintf") {
+						pass.Reportf(call.Pos(),
+							"errors.New(fmt.Sprintf(...)): use fmt.Errorf, with %%w for any wrapped cause")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags error-typed arguments of fmt.Errorf matched to a
+// chain-severing verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringConstant(pass, call.Args[0])
+	if !ok {
+		return // dynamic format string: nothing to prove
+	}
+	for _, v := range parseVerbs(format) {
+		if v.verb == 'w' || v.verb == 'T' {
+			continue
+		}
+		argIdx := 1 + v.arg // fmt.Errorf's operands start after the format
+		if argIdx >= len(call.Args) {
+			continue // vet's printf pass owns arity complaints
+		}
+		arg := call.Args[argIdx]
+		if implementsError(pass.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"error formatted with %%%c severs its errors.Is/As chain; wrap with %%w", v.verb)
+		}
+	}
+}
+
+// stringConstant evaluates e as a constant string.
+func stringConstant(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// fmtVerb is one conversion in a format string: the verb rune and the
+// zero-based operand index it consumes.
+type fmtVerb struct {
+	verb byte
+	arg  int
+}
+
+// parseVerbs scans a printf format string, tracking operand indexes the
+// way package fmt does — including '*' width/precision operands and
+// explicit [n] argument indexes. Close enough to fmt's own scanner for
+// classification; arity errors are vet's printf pass's problem.
+func parseVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(format) && strings_ContainsByte("+-# 0", format[i]) {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// explicit argument index [n]
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		out = append(out, fmtVerb{verb: format[i], arg: arg})
+		arg++
+	}
+	return out
+}
+
+func strings_ContainsByte(s string, b byte) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+// Package passes holds gompresso's custom analyzers: mechanical
+// enforcement of the concurrency and resource invariants the serving
+// stack depends on. Each analyzer encodes one reviewer rule that was
+// previously maintained by hand (see DESIGN.md, "Static analysis"):
+//
+//	refbalance   — pinned blockcache buffers are released on every path
+//	ctxguard     — request paths thread ctx; no context.Background there
+//	errwrapclass — error chains that drive classification survive wrapping
+//	poolescape   — pooled buffers never escape their owner
+//	atomicfield  — fields accessed atomically are accessed atomically everywhere
+package passes
+
+import "gompresso/internal/analysis"
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Refbalance,
+		Ctxguard,
+		Errwrapclass,
+		Poolescape,
+		Atomicfield,
+	}
+}

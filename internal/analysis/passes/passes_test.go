@@ -1,0 +1,46 @@
+package passes_test
+
+import (
+	"testing"
+
+	"gompresso/internal/analysis/analysistest"
+	"gompresso/internal/analysis/passes"
+)
+
+func TestCtxguard(t *testing.T) {
+	analysistest.Run(t, "testdata", passes.Ctxguard,
+		"gompresso", "ctxguard/other", "ctxguard/gompresso")
+}
+
+func TestErrwrapclass(t *testing.T) {
+	analysistest.Run(t, "testdata", passes.Errwrapclass, "errwrap/a")
+}
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", passes.Atomicfield, "atomicfield/a")
+}
+
+func TestPoolescape(t *testing.T) {
+	analysistest.Run(t, "testdata", passes.Poolescape, "poolescape/a")
+}
+
+func TestRefbalance(t *testing.T) {
+	analysistest.Run(t, "testdata", passes.Refbalance, "refbalance/a")
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := passes.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing name, doc, or run function", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,216 @@
+package passes
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gompresso/internal/analysis"
+)
+
+// Poolescape flags sync.Pool values that outlive the function which
+// obtained them through an unmanaged channel: returned to an arbitrary
+// caller, sent on a channel, or stored into a struct field, global, or
+// composite literal. Once a pooled buffer escapes this way, nothing
+// ties its lifetime to the eventual Put — a later Get can hand the same
+// backing array to a second goroutine while the first still reads it,
+// which in this codebase means decoded block bytes silently swapping
+// under an HTTP response.
+//
+// Passing the value to a callee (including pool.Put itself, possibly
+// deferred) is allowed: call arguments are the normal way to lend a
+// scratch buffer downward. The handful of sanctioned lifecycle helpers
+// that deliberately hand pooled memory upward behind a matching release
+// (format.GetScratch/PutScratch, blockcache's refcounted Buf, the
+// pooledBuf helpers) carry //lint:allow poolescape annotations at the
+// escape site, which keeps every such contract enumerable by `grep`.
+var Poolescape = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "sync.Pool values must not escape the acquiring function unmanaged\n\n" +
+		"Returning, sending, or storing a pooled value divorces its lifetime from the\n" +
+		"Put that recycles it; reuse then aliases memory across goroutines.",
+	Run: runPoolescape,
+}
+
+func runPoolescape(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			checkPoolEscapes(pass, d.Body)
+		}
+	}
+	return nil
+}
+
+func checkPoolEscapes(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Tracked local variables holding a (possibly type-asserted) result
+	// of (*sync.Pool).Get.
+	tracked := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		track := func(lhs ast.Expr) {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if v, ok := objectOfIdent(pass, id).(*types.Var); ok {
+					tracked[v] = true
+				}
+			}
+		}
+		switch {
+		case len(a.Lhs) == len(a.Rhs):
+			for i, rhs := range a.Rhs {
+				if isPoolGet(pass, rhs) {
+					track(a.Lhs[i])
+				}
+			}
+		case len(a.Rhs) == 1 && len(a.Lhs) == 2 && isPoolGet(pass, a.Rhs[0]):
+			track(a.Lhs[0]) // comma-ok assertion: p, ok := pool.Get().(*T)
+		}
+		return true
+	})
+
+	// carrier resolves e to the tracked variable whose pooled memory it
+	// carries: pool.Get() itself, a tracked ident, or a slice/deref of
+	// one — (*bp)[:n], *bp, v[i:j] all alias the pooled backing array.
+	carrier := func(e ast.Expr) (*types.Var, bool) {
+		e = ast.Unparen(e)
+		if isPoolGet(pass, e) {
+			return nil, true
+		}
+		for {
+			switch x := e.(type) {
+			case *ast.StarExpr:
+				e = ast.Unparen(x.X)
+			case *ast.SliceExpr:
+				e = ast.Unparen(x.X)
+			default:
+				if id, ok := e.(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && tracked[v] {
+						return v, true
+					}
+				}
+				return nil, false
+			}
+		}
+	}
+	carries := func(e ast.Expr) bool {
+		_, ok := carrier(e)
+		return ok
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if carries(res) {
+					pass.Reportf(res.Pos(),
+						"sync.Pool value returned from the acquiring function; its lifetime detaches from Put")
+				}
+			}
+		case *ast.SendStmt:
+			if carries(n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"sync.Pool value sent on a channel; its lifetime detaches from Put")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					continue
+				}
+				src, ok := carrier(n.Rhs[i])
+				if !ok {
+					continue
+				}
+				// In-place resize through the pooled pointer itself
+				// (*bp = (*bp)[:n]) keeps the value local.
+				if dst, ok := carrier(lhs); ok && dst != nil && dst == src {
+					continue
+				}
+				if escapingLHS(pass, lhs) {
+					pass.Reportf(n.Rhs[i].Pos(),
+						"sync.Pool value stored to %s; it escapes the acquiring function", lhsKind(pass, lhs))
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if carries(elt) {
+					pass.Reportf(elt.Pos(),
+						"sync.Pool value placed in a composite literal; it escapes the acquiring function")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPoolGet reports whether e is a call of (*sync.Pool).Get, looking
+// through parens and a type assertion (the idiomatic
+// pool.Get().(*[]byte) shape).
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Get" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// escapingLHS reports whether assigning to lhs moves the value beyond
+// the function: a struct field, a dereference, an index of a non-local
+// container, or a package-level variable. Plain stores to local
+// variables (including local slices) keep the value in-function.
+func escapingLHS(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		v, ok := objectOfIdent(pass, lhs).(*types.Var)
+		return ok && isGlobal(v)
+	case *ast.SelectorExpr, *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			if v, ok := objectOfIdent(pass, id).(*types.Var); ok && !isGlobal(v) {
+				return false // local container; stays in-function unless that escapes
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// lhsKind names the escaping destination for the diagnostic.
+func lhsKind(pass *analysis.Pass, lhs ast.Expr) string {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.StarExpr:
+		return "a dereferenced pointer"
+	case *ast.IndexExpr:
+		return "a non-local container"
+	default:
+		return "a package-level variable"
+	}
+}
+
+// objectOfIdent resolves an identifier whether it defines or uses the
+// object (:= defines; = uses).
+func objectOfIdent(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}

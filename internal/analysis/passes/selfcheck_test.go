@@ -1,0 +1,36 @@
+package passes_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gompresso/internal/analysis"
+	"gompresso/internal/analysis/passes"
+)
+
+// TestRepoIsClean is the CI gate in miniature: the whole module must
+// analyze with zero unsuppressed findings, so a regression against any
+// enforced invariant fails `go test` as well as the lint job.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, fset, err := analysis.LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	findings, err := analysis.Run(pkgs, passes.All(), fset)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range analysis.Unsuppressed(findings) {
+		t.Errorf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	}
+}

@@ -1,0 +1,47 @@
+// Fixture for atomicfield.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64 // only ever plain: not flagged
+	typed  atomic.Int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1) // establishes: hits is an atomic field
+	c.misses++                  // ok: misses is never accessed atomically
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `plain access to hits, which is accessed atomically at`
+}
+
+func (c *counter) write() {
+	c.hits = 0 // want `plain access to hits`
+}
+
+func (c *counter) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits) // ok
+}
+
+func (c *counter) typedOnly() int64 {
+	c.typed.Add(1)        // typed atomics force consistency by construction
+	return c.typed.Load() // ok
+}
+
+var global int32
+
+func bumpGlobal() {
+	atomic.AddInt32(&global, 1)
+}
+
+func readGlobal() int32 {
+	return global // want `plain access to global`
+}
+
+func (c *counter) allowed() int64 {
+	//lint:allow atomicfield fixture: guarded by a mutex in real code
+	return c.hits
+}

@@ -1,0 +1,11 @@
+// Fixture for ctxguard: entry points own the process lifetime, so a
+// main package is exempt from the root-context ban even when its import
+// path collides with a guarded suffix.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: package main owns the root context
+	_ = ctx
+}

@@ -1,0 +1,13 @@
+// Fixture for ctxguard: an unguarded package may build root contexts,
+// but the ctx-first convention still applies everywhere.
+package other
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background() // ok: not a guarded package
+}
+
+func ctxLast(n int, ctx context.Context) { // want `found at position 2`
+	_, _ = n, ctx
+}

@@ -1,0 +1,71 @@
+// Fixture for errwrapclass.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+type codedError struct{ code int }
+
+func (e *codedError) Error() string { return "coded" }
+
+func severed(err error) error {
+	return fmt.Errorf("decode: %v", err) // want `error formatted with %v severs its errors.Is/As chain`
+}
+
+func severedString(err error) error {
+	return fmt.Errorf("decode: %s", err) // want `error formatted with %s severs`
+}
+
+func severedQuoted(err error) error {
+	return fmt.Errorf("decode: %q", err) // want `error formatted with %q severs`
+}
+
+func severedInner(err error) error {
+	return fmt.Errorf("%w: block 3: %v", errBase, err) // want `error formatted with %v severs`
+}
+
+func severedConcrete(e *codedError) error {
+	return fmt.Errorf("decode: %v", e) // want `error formatted with %v severs`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("decode: %w", err) // ok
+}
+
+func doubleWrapped(err error) error {
+	return fmt.Errorf("%w: %w", errBase, err) // ok: Go 1.20 multi-%w
+}
+
+func typeOnly(err error) error {
+	return fmt.Errorf("decode failed (%T)", err) // ok: %T formats the type, not the chain
+}
+
+func nonError(n int) error {
+	return fmt.Errorf("decode: block %d: %v", n, n) // ok: no error operand
+}
+
+func widthOperand(err error) error {
+	return fmt.Errorf("%*d: %w", 8, 42, err) // ok: '*' consumes an operand before the verb
+}
+
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // ok: nothing to prove about a dynamic format
+}
+
+func sprintfNew(err error) error {
+	return errors.New(fmt.Sprintf("decode: %v", err)) // want `errors\.New\(fmt\.Sprintf\(\.\.\.\)\)`
+}
+
+func plainNew() error {
+	return errors.New("decode failed") // ok
+}
+
+func allowedFlatten(err error) string {
+	//lint:allow errwrapclass fixture: value is persisted as text, chain ends here
+	e := fmt.Errorf("decode: %v", err)
+	return e.Error()
+}

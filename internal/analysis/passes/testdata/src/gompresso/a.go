@@ -1,0 +1,36 @@
+// Fixture for ctxguard: the import path "gompresso" matches the
+// guarded-package list, so root contexts are forbidden and ctx-first is
+// enforced.
+package gompresso
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background() // want `context.Background\(\) on a request path`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) on a request path`
+}
+
+func ctxLast(n int, ctx context.Context) int { // want `context.Context should be the first parameter \(found at position 2\)`
+	_ = ctx
+	return n
+}
+
+func ctxMiddle(a string, ctx context.Context, b string) string { // want `found at position 2`
+	_ = ctx
+	return a + b
+}
+
+func ctxFirst(ctx context.Context, n int) int { // ok
+	_ = ctx
+	return n
+}
+
+func noCtx(n int) int { return n } // ok
+
+func allowed() context.Context {
+	//lint:allow ctxguard fixture: sanctioned construction-time default
+	return context.Background()
+}

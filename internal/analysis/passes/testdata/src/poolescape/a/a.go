@@ -1,0 +1,76 @@
+// Fixture for poolescape.
+package a
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+type holder struct {
+	buf *[]byte
+}
+
+var sink *[]byte
+
+func returned() *[]byte {
+	return pool.Get().(*[]byte) // want `sync.Pool value returned from the acquiring function`
+}
+
+func returnedViaVar() *[]byte {
+	bp := pool.Get().(*[]byte)
+	return bp // want `sync.Pool value returned`
+}
+
+func returnedSlice() []byte {
+	bp := pool.Get().(*[]byte)
+	return (*bp)[:4] // want `sync.Pool value returned`
+}
+
+func storedField(h *holder) {
+	h.buf = pool.Get().(*[]byte) // want `sync.Pool value stored to a struct field`
+}
+
+func storedGlobal() {
+	bp := pool.Get().(*[]byte)
+	sink = bp // want `sync.Pool value stored to a package-level variable`
+}
+
+func sent(ch chan *[]byte) {
+	bp := pool.Get().(*[]byte)
+	ch <- bp // want `sync.Pool value sent on a channel`
+}
+
+func inComposite() {
+	bp := pool.Get().(*[]byte)
+	_ = holder{buf: bp} // want `sync.Pool value placed in a composite literal`
+}
+
+func commaOK(h *holder) {
+	if bp, ok := pool.Get().(*[]byte); ok {
+		h.buf = bp // want `sync.Pool value stored to a struct field`
+	}
+}
+
+func balanced() int {
+	bp := pool.Get().(*[]byte)
+	defer pool.Put(bp) // ok: call arguments lend the value downward
+	return len(*bp)
+}
+
+func resizedInPlace() {
+	bp := pool.Get().(*[]byte)
+	*bp = (*bp)[:0] // ok: rewriting the pooled value's own pointee stays local
+	pool.Put(bp)
+}
+
+func localSlice() {
+	locals := make([]*[]byte, 1)
+	bp := pool.Get().(*[]byte)
+	locals[0] = bp // ok: local container
+	pool.Put(locals[0])
+}
+
+func allowed() *[]byte {
+	bp := pool.Get().(*[]byte)
+	//lint:allow poolescape fixture: lifecycle helper paired with a Put elsewhere
+	return bp
+}

@@ -1,0 +1,156 @@
+// Fixture for refbalance.
+package a
+
+import (
+	"context"
+
+	"refbalance/blockcache"
+)
+
+var key = blockcache.Key{Object: 1}
+
+func decode([]byte) error { return nil }
+
+func leakOnBranch(ctx context.Context, c *blockcache.Cache, cond bool) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode) // want `not released on every path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // leaks b
+	}
+	b.Release()
+	return nil
+}
+
+func leakNoRelease(ctx context.Context, c *blockcache.Cache) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode) // want `not released on every path`
+	if err != nil {
+		return err
+	}
+	_ = b.Bytes()
+	return nil
+}
+
+func balancedDefer(ctx context.Context, c *blockcache.Cache) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return err // ok: no buffer is pinned on the failure path
+	}
+	defer b.Release()
+	return nil
+}
+
+func balancedDeferredClosure(ctx context.Context, c *blockcache.Cache) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return err
+	}
+	defer func() { b.Release() }()
+	return nil
+}
+
+func balancedBranches(ctx context.Context, c *blockcache.Cache, cond bool) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return err
+	}
+	if cond {
+		b.Release()
+		return nil
+	}
+	b.Release()
+	return nil
+}
+
+func doubleRelease(ctx context.Context, c *blockcache.Cache) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return err
+	}
+	b.Release()
+	b.Release() // want `may already be released here`
+	return nil
+}
+
+func deferredThenReleased(ctx context.Context, c *blockcache.Cache) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	b.Release() // want `may already be released here`
+	return nil
+}
+
+func branchDoubleRelease(ctx context.Context, c *blockcache.Cache, cond bool) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return err
+	}
+	if cond {
+		b.Release()
+	}
+	b.Release() // want `may already be released here`
+	return nil
+}
+
+func discarded(ctx context.Context, c *blockcache.Cache) {
+	c.GetOrDecode(ctx, key, 64, decode) // want `pinned Buf result discarded`
+}
+
+func discardedBlank(ctx context.Context, c *blockcache.Cache) error {
+	_, err := c.GetOrDecode(ctx, key, 64, decode) // want `pinned Buf result discarded`
+	return err
+}
+
+func reassigned(ctx context.Context, c *blockcache.Cache) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode) // want `reassigned while still owing a Release`
+	if err != nil {
+		return err
+	}
+	b, err = c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return err
+	}
+	b.Release()
+	return nil
+}
+
+// transfer hands the pinned buffer to the caller: the obligation moves
+// with it, so nothing is reported here.
+func transfer(ctx context.Context, c *blockcache.Cache) (*blockcache.Buf, error) {
+	b, err := c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil // ok: caller now owes the Release
+}
+
+func lend(b *blockcache.Buf) {}
+
+func passedDown(ctx context.Context, c *blockcache.Cache) error {
+	b, err := c.GetOrDecode(ctx, key, 64, decode)
+	if err != nil {
+		return err
+	}
+	lend(b) // ok: callee takes responsibility; tracking stops
+	return nil
+}
+
+func loopBalanced(ctx context.Context, c *blockcache.Cache) error {
+	for i := 0; i < 4; i++ {
+		b, err := c.GetOrDecode(ctx, key, 64, decode)
+		if err != nil {
+			return err
+		}
+		b.Release()
+	}
+	return nil
+}
+
+func allowedLeak(ctx context.Context, c *blockcache.Cache) {
+	//lint:allow refbalance fixture: intentionally pinned for process lifetime
+	b, _ := c.GetOrDecode(ctx, key, 64, decode)
+	_ = b.Bytes()
+}

@@ -1,0 +1,20 @@
+// Fixture stand-in for the real blockcache package: the refbalance
+// analyzer recognizes the Buf type by name and package suffix, so this
+// minimal shape exercises it without importing the real module.
+package blockcache
+
+import "context"
+
+type Key struct{ Object, Block uint64 }
+
+type Buf struct{ refs int32 }
+
+func (b *Buf) Bytes() []byte { return nil }
+
+func (b *Buf) Release() { b.refs-- }
+
+type Cache struct{}
+
+func (c *Cache) GetOrDecode(ctx context.Context, key Key, size int, decode func([]byte) error) (*Buf, error) {
+	return &Buf{refs: 1}, nil
+}

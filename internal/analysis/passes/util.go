@@ -1,0 +1,69 @@
+package passes
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gompresso/internal/analysis"
+)
+
+// pkgMatches reports whether path equals one of the entries or ends in
+// "/"+entry — so configs can name real module packages
+// ("gompresso/internal/blockcache"), bare suffixes ("blockcache"), or
+// fixture paths, and both the repo scan and analysistest resolve them.
+func pkgMatches(path string, entries []string) bool {
+	for _, e := range entries {
+		if path == e || strings.HasSuffix(path, "/"+e) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for dynamic and built-in calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function of the named
+// package (exact path match).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// funcBodies yields every function body in the package — declarations
+// and literals — with the enclosing declaration's name for diagnostics.
+func funcBodies(files []*ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			fn(d.Name.Name, d.Body)
+		}
+	}
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) implements error.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays a tiny two-package module down in a temp dir:
+// the root package has two flagged functions (one suppressed) and
+// imports a local subpackage, which in turn imports stdlib, so loading
+// exercises the local resolver, the recursive loader importer, and the
+// source-importer fallback.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmod\n\ngo 1.24\n",
+		"a.go": `package tmod
+
+import "tmod/sub"
+
+func BadOne() int { return sub.V }
+
+//lint:allow toy fixture exception
+func BadTwo() {}
+
+func Good() {}
+`,
+		"sub/b.go": `package sub
+
+import "errors"
+
+var V = 1
+
+var ErrX = errors.New("x")
+`,
+	}
+	for name, src := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// toyAnalyzer flags every function whose name starts with Bad, using
+// both report entry points and the type-info accessors.
+func toyAnalyzer(t *testing.T) *Analyzer {
+	return &Analyzer{
+		Name: "toy",
+		Doc:  "flags functions named Bad*",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || !strings.HasPrefix(fd.Name.Name, "Bad") {
+						continue
+					}
+					if pass.ObjectOf(fd.Name) == nil {
+						t.Errorf("ObjectOf(%s) = nil", fd.Name.Name)
+					}
+					if fd.Name.Name == "BadOne" {
+						if pass.TypeOf(fd.Name) == nil {
+							t.Error("TypeOf(BadOne) = nil")
+						}
+						pass.Report(Diagnostic{Pos: fd.Pos(), Message: "bad function BadOne"})
+					} else {
+						pass.Reportf(fd.Pos(), "bad function %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func TestLoadModuleAndRun(t *testing.T) {
+	dir := writeModule(t)
+	pkgs, fset, err := LoadModule(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("LoadModule found %d packages, want 2", len(pkgs))
+	}
+
+	findings, err := Run(pkgs, []*Analyzer{toyAnalyzer(t)}, fset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %+v, want 2", findings)
+	}
+	// Sorted by position: BadOne (line 5) before BadTwo (line 8).
+	if findings[0].Suppressed || findings[0].Message != "bad function BadOne" {
+		t.Errorf("findings[0] = %+v", findings[0])
+	}
+	if !findings[1].Suppressed || findings[1].Reason != "fixture exception" {
+		t.Errorf("findings[1] = %+v, want suppressed with reason", findings[1])
+	}
+
+	open := Unsuppressed(findings)
+	if len(open) != 1 || open[0].Message != "bad function BadOne" {
+		t.Errorf("Unsuppressed = %+v", open)
+	}
+
+	var quiet, verbose strings.Builder
+	Write(&quiet, findings, false)
+	if !strings.Contains(quiet.String(), "[toy] bad function BadOne") {
+		t.Errorf("quiet output missing finding:\n%s", quiet.String())
+	}
+	if strings.Contains(quiet.String(), "BadTwo") {
+		t.Errorf("quiet output leaked suppressed finding:\n%s", quiet.String())
+	}
+	Write(&verbose, findings, true)
+	if !strings.Contains(verbose.String(), "suppressed: bad function BadTwo (reason: fixture exception)") {
+		t.Errorf("verbose output missing suppressed finding:\n%s", verbose.String())
+	}
+}
+
+func TestLoaderErrors(t *testing.T) {
+	dir := writeModule(t)
+	l := NewLoader(ModuleLocal("tmod", dir))
+	if _, err := l.Load("golang.org/x/other"); err == nil {
+		t.Error("loading a non-local package must fail")
+	}
+	if _, err := l.Load("tmod/nosuchdir"); err == nil {
+		t.Error("loading a missing directory must fail")
+	}
+
+	// A type error in the fixture must fail loudly, not analyze garbage.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "go.mod"), []byte("module bad\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, "a.go"), []byte("package bad\n\nvar X int = \"nope\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadModule(bad, []string{"./..."}); err == nil {
+		t.Error("type error in fixture must fail LoadModule")
+	}
+}

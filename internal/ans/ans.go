@@ -296,7 +296,7 @@ func Decode(data []byte) ([]byte, error) {
 		out[i] = e.sym
 		bitsV, err := r.ReadBits(uint(e.nbBits))
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		state = uint32(e.base) + uint32(bitsV)
 	}

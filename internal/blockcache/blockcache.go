@@ -182,7 +182,7 @@ func (c *Cache) shardOf(k Key) *shard {
 func (c *Cache) getBuf(n int) *Buf {
 	b := &Buf{pool: &c.pool}
 	if p, ok := c.pool.Get().(*[]byte); ok && cap(*p) >= n {
-		b.data = (*p)[:n]
+		b.data = (*p)[:n] //lint:allow poolescape Buf's refcount owns the memory; Release returns it
 	} else {
 		b.data = make([]byte, n)
 	}

@@ -54,7 +54,7 @@ func benchOurs(b *testing.B, workers int) {
 	b.SetBytes(int64(len(raw)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := NewReaderBytes(gz, FormatGzip, Options{Workers: workers}, nil)
+		r, err := NewReaderBytes(nil, gz, FormatGzip, Options{Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -165,7 +165,7 @@ func TestReaderSmallReads(t *testing.T) {
 	zw.Write(raw)
 	zw.Close()
 
-	r, err := NewReaderBytes(gz.Bytes(), FormatGzip, Options{Workers: 2, ChunkSize: minChunkSize}, nil)
+	r, err := NewReaderBytes(nil, gz.Bytes(), FormatGzip, Options{Workers: 2, ChunkSize: minChunkSize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestReaderSmallReads(t *testing.T) {
 		t.Fatal("small-read output differs")
 	}
 
-	r2, err := NewReaderBytes(gz.Bytes(), FormatGzip, Options{Workers: 2, ChunkSize: minChunkSize}, nil)
+	r2, err := NewReaderBytes(nil, gz.Bytes(), FormatGzip, Options{Workers: 2, ChunkSize: minChunkSize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestReaderSmallReads(t *testing.T) {
 func TestMultiMember(t *testing.T) {
 	data := corpusFiles(t)["multimember.gz"]
 	want := stdGunzip(t, data)
-	r, err := NewReaderBytes(data, FormatGzip, Options{Workers: 2, ChunkSize: minChunkSize}, nil)
+	r, err := NewReaderBytes(nil, data, FormatGzip, Options{Workers: 2, ChunkSize: minChunkSize})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -123,7 +123,7 @@ func TestCorruptMidStreamParity(t *testing.T) {
 		err    error
 	}
 	decode := func(w, chunk int) outcome {
-		r, err := NewReaderBytes(mut, FormatGzip, Options{Workers: w, ChunkSize: chunk}, nil)
+		r, err := NewReaderBytes(nil, mut, FormatGzip, Options{Workers: w, ChunkSize: chunk})
 		if err != nil {
 			return outcome{err: err}
 		}

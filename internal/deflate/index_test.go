@@ -14,7 +14,7 @@ import (
 // and returns the resulting index alongside the decoded bytes.
 func buildIndex(t *testing.T, data []byte, form Format, spacing int64, workers int) (*Index, []byte) {
 	t.Helper()
-	r, err := NewReaderBytes(data, form, Options{Workers: workers}, nil)
+	r, err := NewReaderBytes(nil, data, form, Options{Workers: workers})
 	if err != nil {
 		t.Fatalf("NewReaderBytes: %v", err)
 	}
@@ -114,7 +114,7 @@ func TestChunkOf(t *testing.T) {
 // stream.
 func TestCollectIndexAfterRead(t *testing.T) {
 	data := corpus.Files()["window.gz"]
-	r, err := NewReaderBytes(data, FormatGzip, Options{Workers: 1}, nil)
+	r, err := NewReaderBytes(nil, data, FormatGzip, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestCollectIndexAfterRead(t *testing.T) {
 // truncated index.
 func TestIndexIncomplete(t *testing.T) {
 	data := corpus.Files()["window.gz"]
-	r, err := NewReaderBytes(data, FormatGzip, Options{Workers: 1}, nil)
+	r, err := NewReaderBytes(nil, data, FormatGzip, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

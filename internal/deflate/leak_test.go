@@ -51,7 +51,7 @@ func TestNoLeakOnCorruptChunk(t *testing.T) {
 	mut[len(mut)/3] ^= 0xff
 	noLeaks(t, func() {
 		for i := 0; i < 5; i++ {
-			r, err := NewReaderBytes(mut, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize}, nil)
+			r, err := NewReaderBytes(nil, mut, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -69,7 +69,7 @@ func TestNoLeakOnEarlyClose(t *testing.T) {
 	data := gzipped(t, datagen.WikiXML(512<<10, 29))
 	noLeaks(t, func() {
 		for i := 0; i < 5; i++ {
-			r, err := NewReaderBytes(data, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize}, nil)
+			r, err := NewReaderBytes(nil, data, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -88,7 +88,7 @@ func TestContextCancel(t *testing.T) {
 	data := gzipped(t, datagen.WikiXML(512<<10, 31))
 	noLeaks(t, func() {
 		ctx, cancel := context.WithCancel(context.Background())
-		r, err := NewReaderBytes(data, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize}, ctx)
+		r, err := NewReaderBytes(ctx, data, FormatGzip, Options{Workers: 4, ChunkSize: minChunkSize})
 		if err != nil {
 			t.Fatal(err)
 		}

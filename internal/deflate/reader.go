@@ -110,7 +110,7 @@ var errClosed = errors.New("deflate: reader closed")
 // NewReaderBytes returns a Reader over an in-memory compressed stream.
 // The framing header of the first member is parsed eagerly, so garbage
 // input fails here rather than at the first Read.
-func NewReaderBytes(data []byte, form Format, opt Options, ctx context.Context) (*Reader, error) {
+func NewReaderBytes(ctx context.Context, data []byte, form Format, opt Options) (*Reader, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -121,7 +121,7 @@ func NewReaderBytes(data []byte, form Format, opt Options, ctx context.Context) 
 		return nil, err
 	}
 	if useParallel(len(data), opt, parallel.Workers(opt.Workers, opt.Workers)) {
-		r.par = startScan(data, r.eng.bit, opt, ctx)
+		r.par = startScan(ctx, data, r.eng.bit, opt)
 	}
 	return r, nil
 }
@@ -141,17 +141,17 @@ func useParallel(dataLen int, opt Options, poolWorkers int) bool {
 // two-pass parallel decode needs random access to the compressed bytes, so
 // streaming sources are buffered whole; bounded-memory foreign streaming is
 // future work (see DESIGN.md).
-func NewReader(src io.Reader, form Format, opt Options, ctx context.Context) (*Reader, error) {
+func NewReader(ctx context.Context, src io.Reader, form Format, opt Options) (*Reader, error) {
 	data, err := io.ReadAll(src)
 	if err != nil {
 		return nil, err
 	}
-	return NewReaderBytes(data, form, opt, ctx)
+	return NewReaderBytes(ctx, data, form, opt)
 }
 
 // Decompress expands a whole in-memory stream.
 func Decompress(data []byte, form Format, opt Options) ([]byte, error) {
-	r, err := NewReaderBytes(data, form, opt, nil)
+	r, err := NewReaderBytes(nil, data, form, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -506,13 +506,13 @@ type parRun struct {
 	drained bool
 }
 
-func startScan(data []byte, firstBit int64, opt Options, ctx context.Context) *parRun {
+func startScan(ctx context.Context, data []byte, firstBit int64, opt Options) *parRun {
 	p := &parRun{
 		ord:  parallel.NewOrdered[chunkResult](opt.Workers, opt.Readahead),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	go p.scan(data, firstBit, opt.ChunkSize, ctx)
+	go p.scan(ctx, data, firstBit, opt.ChunkSize)
 	return p
 }
 
@@ -524,7 +524,7 @@ func startScan(data []byte, firstBit int64, opt Options, ctx context.Context) *p
 // next anchor-bearing region, and the total scan work stays O(input) for
 // the whole stream. Only end of input ends the scanner, with a final
 // chunk that decodes to the end of the stream.
-func (p *parRun) scan(data []byte, firstBit int64, chunkBytes int, ctx context.Context) {
+func (p *parRun) scan(ctx context.Context, data []byte, firstBit int64, chunkBytes int) {
 	defer close(p.done)
 	defer p.ord.Finish()
 	t := getTables()

@@ -30,6 +30,7 @@ type tables struct {
 
 var tablesPool = sync.Pool{New: func() any { return new(tables) }}
 
+//lint:allow poolescape sanctioned lifecycle helper, paired with putTables
 func getTables() *tables  { return tablesPool.Get().(*tables) }
 func putTables(t *tables) { tablesPool.Put(t) }
 

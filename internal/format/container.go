@@ -182,11 +182,11 @@ func ParseBlock(h FileHeader, bi uint32, data []byte, b *Block) ([]byte, error) 
 		var err error
 		b.LitLenLengths, rest, err = huffman.ParseLengths(rest, LitLenSyms)
 		if err != nil {
-			return nil, fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
+			return nil, fmt.Errorf("%w: block %d: %w", ErrFormat, bi, err)
 		}
 		b.OffLengths, rest, err = huffman.ParseLengths(rest, OffSyms)
 		if err != nil {
-			return nil, fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
+			return nil, fmt.Errorf("%w: block %d: %w", ErrFormat, bi, err)
 		}
 		if len(rest) < 4 {
 			return nil, fmt.Errorf("%w: block %d: truncated sub-block count", ErrFormat, bi)

@@ -55,6 +55,7 @@ type DecodeScratch struct {
 var scratchPool = sync.Pool{New: func() any { return new(DecodeScratch) }}
 
 // GetScratch takes a DecodeScratch from the package pool.
+//lint:allow poolescape sanctioned lifecycle helper, paired with PutScratch
 func GetScratch() *DecodeScratch { return scratchPool.Get().(*DecodeScratch) }
 
 // PutScratch returns a DecodeScratch to the package pool.

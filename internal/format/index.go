@@ -133,7 +133,7 @@ func ReadIndexAt(ra io.ReaderAt, size int64, h FileHeader) (*Index, error) {
 	}
 	var foot [IndexFooterSize]byte
 	if _, err := ra.ReadAt(foot[:], size-IndexFooterSize); err != nil {
-		return nil, fmt.Errorf("%w: reading index footer: %v", ErrFormat, err)
+		return nil, fmt.Errorf("%w: reading index footer: %w", ErrFormat, err)
 	}
 	if [4]byte(foot[4:]) != indexMagic {
 		return nil, fmt.Errorf("%w: no index trailer", ErrFormat)
@@ -144,7 +144,7 @@ func ReadIndexAt(ra io.ReaderAt, size int64, h FileHeader) (*Index, error) {
 	}
 	tail := make([]byte, total)
 	if _, err := ra.ReadAt(tail, size-total); err != nil {
-		return nil, fmt.Errorf("%w: reading index trailer: %v", ErrFormat, err)
+		return nil, fmt.Errorf("%w: reading index trailer: %w", ErrFormat, err)
 	}
 	idx, err := parseIndexBytes(tail, h)
 	if err != nil {

@@ -30,7 +30,7 @@ type BlockReader struct {
 func NewBlockReader(r io.Reader) (*BlockReader, error) {
 	br := &BlockReader{r: bufio.NewReaderSize(r, 64<<10)}
 	if _, err := io.ReadFull(br.r, br.head[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", ErrFormat, err)
+		return nil, fmt.Errorf("%w: reading header: %w", ErrFormat, err)
 	}
 	h, err := ParseHeader(br.head[:])
 	if err != nil {
@@ -81,7 +81,7 @@ func (br *BlockReader) Next(b *Block) error {
 		// trailer whose offsets reproduce the block section just read.
 		tail, err := io.ReadAll(io.LimitReader(br.r, maxTrailerSize(br.hdr)+1))
 		if err != nil {
-			return fmt.Errorf("%w: reading past last block: %v", ErrFormat, err)
+			return fmt.Errorf("%w: reading past last block: %w", ErrFormat, err)
 		}
 		if len(tail) == 0 {
 			return io.EOF
@@ -100,7 +100,7 @@ func (br *BlockReader) Next(b *Block) error {
 
 	var fixed [12]byte
 	if _, err := io.ReadFull(br.r, fixed[:]); err != nil {
-		return fmt.Errorf("%w: block %d: truncated header (%v)", ErrFormat, bi, err)
+		return fmt.Errorf("%w: block %d: truncated header (%w)", ErrFormat, bi, err)
 	}
 	br.off += 12
 	b.RawLen = int(binary.LittleEndian.Uint32(fixed[:]))
@@ -121,15 +121,15 @@ func (br *BlockReader) Next(b *Block) error {
 		var err error
 		b.LitLenLengths, err = br.readLengths(b.LitLenLengths, LitLenSyms)
 		if err != nil {
-			return fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
+			return fmt.Errorf("%w: block %d: %w", ErrFormat, bi, err)
 		}
 		b.OffLengths, err = br.readLengths(b.OffLengths, OffSyms)
 		if err != nil {
-			return fmt.Errorf("%w: block %d: %v", ErrFormat, bi, err)
+			return fmt.Errorf("%w: block %d: %w", ErrFormat, bi, err)
 		}
 		var cnt [4]byte
 		if _, err := io.ReadFull(br.r, cnt[:]); err != nil {
-			return fmt.Errorf("%w: block %d: truncated sub-block count (%v)", ErrFormat, bi, err)
+			return fmt.Errorf("%w: block %d: truncated sub-block count (%w)", ErrFormat, bi, err)
 		}
 		br.off += 4
 		numSubs := int(binary.LittleEndian.Uint32(cnt[:]))
@@ -165,7 +165,7 @@ func (br *BlockReader) Next(b *Block) error {
 	}
 
 	if err := br.readPayload(b, payloadLen); err != nil {
-		return fmt.Errorf("%w: block %d: truncated payload (%v)", ErrFormat, bi, err)
+		return fmt.Errorf("%w: block %d: truncated payload (%w)", ErrFormat, bi, err)
 	}
 	br.off += int64(payloadLen)
 	br.seen += uint64(b.RawLen)
@@ -224,7 +224,7 @@ func (br *BlockReader) readLengths(dst []uint8, n int) ([]uint8, error) {
 	}
 	packed := br.packed[:need]
 	if _, err := io.ReadFull(br.r, packed); err != nil {
-		return dst, fmt.Errorf("tree truncated: %v", err)
+		return dst, fmt.Errorf("tree truncated: %w", err)
 	}
 	br.off += int64(need)
 	if cap(dst) < n {

@@ -88,7 +88,7 @@ func (m Meta) Stale(size int64, mtime time.Time) bool {
 // the offline path (`gompresso index`) and tests. Servers should not call
 // this: they hook CollectIndex into a decode they were doing anyway.
 func Build(data []byte, form deflate.Format, spacing int64, opt deflate.Options) (*deflate.Index, error) {
-	r, err := deflate.NewReaderBytes(data, form, opt, nil)
+	r, err := deflate.NewReaderBytes(nil, data, form, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +205,7 @@ func Decode(data []byte) (*deflate.Index, Meta, error) {
 		return nil, meta, badf("%d trailing bytes", len(body)-off)
 	}
 	if err := idx.Validate(meta.SrcSize); err != nil {
-		return nil, meta, fmt.Errorf("gzidx: %w: %v", ErrSidecar, err)
+		return nil, meta, fmt.Errorf("gzidx: %w: %w", ErrSidecar, err)
 	}
 	return idx, meta, nil
 }

@@ -52,10 +52,11 @@ type ReaderAt struct {
 // of ra for random access. Codec.NewReaderAt is the same, bound to a
 // codec's worker budget and context.
 func NewReaderAt(ra io.ReaderAt, size int64) (*ReaderAt, error) {
-	return newReaderAt(ra, size, 0, context.Background(), FormatAuto, nil)
+	//lint:allow ctxguard NewReaderAt is the context-free API; Codec.NewReaderAt threads a real ctx
+	return newReaderAt(context.Background(), ra, size, 0, FormatAuto, nil)
 }
 
-func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context, form Format, cache *blockcache.Cache) (*ReaderAt, error) {
+func newReaderAt(ctx context.Context, ra io.ReaderAt, size int64, workers int, form Format, cache *blockcache.Cache) (*ReaderAt, error) {
 	head := make([]byte, format.HeaderSize)
 	n, err := ra.ReadAt(head, 0)
 	if err != nil && err != io.EOF {
@@ -99,7 +100,7 @@ func newReaderAt(ra io.ReaderAt, size int64, workers int, ctx context.Context, f
 // index built over exactly those bytes. The index is validated against
 // size here; staleness against the live source (mtime) is the caller's
 // responsibility, as with any cached resolution.
-func newForeignReaderAt(ra io.ReaderAt, size int64, idx *deflate.Index, workers int, ctx context.Context, cache *blockcache.Cache) (*ReaderAt, error) {
+func newForeignReaderAt(ctx context.Context, ra io.ReaderAt, size int64, idx *deflate.Index, workers int, cache *blockcache.Cache) (*ReaderAt, error) {
 	if idx == nil {
 		return nil, errors.New("gompresso: nil seek index")
 	}
@@ -270,6 +271,7 @@ func pooledBuf(pool *sync.Pool, n int) *[]byte {
 		*bp = make([]byte, n)
 	}
 	*bp = (*bp)[:n]
+	//lint:allow poolescape sanctioned lifecycle helper; callers pool.Put when done
 	return bp
 }
 

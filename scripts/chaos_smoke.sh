@@ -37,6 +37,7 @@ cat ./*.go internal/*/*.go > "$work/corpus.txt"
 "$bin" compress -index -block 64 "$work/corpus.txt" "$root/healthy.gpz" 2>/dev/null
 gzip -c "$work/corpus.txt" > "$root/flaky.gz"
 gzip -c "$work/corpus.txt" > "$root/slow.gz"
+gzip -c "$work/corpus.txt" > "$root/slow2.gz"
 for _ in $(seq 1 60); do cat "$work/corpus.txt"; done > "$work/big.txt"
 gzip -c "$work/big.txt" > "$work/big.gz"
 gsize=$(wc -c < "$work/big.gz" | tr -d ' ')
@@ -46,7 +47,7 @@ addr=127.0.0.1:18527
 "$bin" serve -addr "$addr" -root "$root" -cache 16 -max-inflight 1 \
   -queue-wait 200ms -request-timeout 30s -quarantine-ttl 60s \
   -drain-wait 1s -quiet \
-  -fault 'flaky.gz:eio@4096 ; slow.gz:latency=50ms' 2>"$work/serve.log" &
+  -fault 'flaky.gz:eio@4096 ; slow.gz:latency=50ms ; slow2.gz:latency=250ms' 2>"$work/serve.log" &
 srv_pid=$!
 for _ in $(seq 1 100); do
   curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
@@ -84,8 +85,13 @@ alive "slow.gz"
 
 # 3. Load shedding: hold the single decode slot with a slow request,
 # then a queued request must be shed with 503 + Retry-After within
-# -queue-wait, not stall behind it.
-curl -sf --max-time 120 "http://$addr/slow.gz" > /dev/null &
+# -queue-wait, not stall behind it. The holder must be an object no
+# earlier step has touched: since the seek-index work, a full GET
+# promotes a foreign object to the block cache, and a warmed object
+# answers from cache without ever reading the faulted file — too fast
+# to keep the slot occupied. slow2.gz is cold and sleeps 250ms per
+# read, comfortably past -queue-wait.
+curl -sf --max-time 120 "http://$addr/slow2.gz" > /dev/null &
 slow_pid=$!
 for _ in $(seq 1 200); do
   [ "$(metric inflight_requests)" -ge 1 ] 2>/dev/null && break

@@ -88,10 +88,11 @@ func NewReader(r io.Reader) (*Reader, error) { return NewReaderWith(r, ReaderOpt
 
 // NewReaderWith is NewReader with explicit pipeline options.
 func NewReaderWith(r io.Reader, opt ReaderOptions) (*Reader, error) {
-	return newReader(r, opt, context.Background(), FormatAuto)
+	//lint:allow ctxguard NewReaderWith is the context-free API; Codec.NewReader threads a real ctx
+	return newReader(context.Background(), r, opt, FormatAuto)
 }
 
-func newReader(r io.Reader, opt ReaderOptions, ctx context.Context, form Format) (*Reader, error) {
+func newReader(ctx context.Context, r io.Reader, opt ReaderOptions, form Format) (*Reader, error) {
 	pl, err := core.Pipeline{Workers: opt.Workers, Readahead: opt.Readahead}.Normalize()
 	if err != nil {
 		return nil, err
@@ -127,9 +128,9 @@ func newReader(r io.Reader, opt ReaderOptions, ctx context.Context, form Format)
 			return nil, err
 		}
 		data := buf.Bytes()
-		fr, err := deflate.NewReaderBytes(data, foreignForm(form), deflate.Options{
+		fr, err := deflate.NewReaderBytes(ctx, data, foreignForm(form), deflate.Options{
 			Workers: opt.Workers, Readahead: opt.Readahead,
-		}, ctx)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +221,7 @@ func (r *Reader) start(br *format.BlockReader, first uint32) {
 		}
 		return
 	}
-	r.pl = newPipe(r.hdr, w, r.opt.Readahead, r.ctx)
+	r.pl = newPipe(r.ctx, r.hdr, w, r.opt.Readahead)
 	go r.pl.fetch(br)
 }
 
@@ -543,7 +544,7 @@ type pipe struct {
 	done   chan struct{} // fetch goroutine exited
 }
 
-func newPipe(hdr format.FileHeader, workers, readahead int, ctx context.Context) *pipe {
+func newPipe(ctx context.Context, hdr format.FileHeader, workers, readahead int) *pipe {
 	p := &pipe{
 		hdr:    hdr,
 		ctx:    ctx,

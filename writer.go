@@ -94,7 +94,7 @@ type writeResult struct {
 
 var errWriterClosed = errors.New("gompresso: writer closed")
 
-func newWriter(w io.Writer, opt core.Options, pipe core.Pipeline, ctx context.Context) *Writer {
+func newWriter(ctx context.Context, w io.Writer, opt core.Options, pipe core.Pipeline) *Writer {
 	wr := &Writer{dst: w, opt: opt, pipe: pipe, ctx: ctx, begin: time.Now()}
 	if ws, ok := w.(io.WriteSeeker); ok {
 		// Probe: a pipe or terminal satisfies the interface but cannot
