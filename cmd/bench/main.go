@@ -2,7 +2,7 @@
 // in-process and writes a machine-readable BENCH_<n>.json so the performance
 // trajectory is tracked from PR to PR (see EXPERIMENTS.md).
 //
-//	go run ./cmd/bench                 # full run, writes BENCH_7.json
+//	go run ./cmd/bench                 # full run, writes BENCH_9.json
 //	go run ./cmd/bench -short          # CI smoke: small corpus, 1 iteration
 //	go run ./cmd/bench -o results.json # custom output path
 //
@@ -13,10 +13,12 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -26,6 +28,8 @@ import (
 
 	"gompresso"
 	"gompresso/internal/datagen"
+	"gompresso/internal/loadgen"
+	"gompresso/internal/perf"
 	"gompresso/internal/server"
 )
 
@@ -39,8 +43,15 @@ const seedHostBitMBps = 90.6
 type result struct {
 	Name     string  `json:"name"`
 	SimGBps  float64 `json:"sim_gbps,omitempty"`
-	HostGBps float64 `json:"host_gbps"`
+	HostGBps float64 `json:"host_gbps,omitempty"`
 	HitRate  float64 `json:"hit_rate,omitempty"` // ServeRange rows: decoded-block cache hit rate
+	// ServeLatency rows: open-loop load-harness quantiles (milliseconds)
+	// and error/shed rates for one phase.
+	P50Ms     float64 `json:"p50_ms,omitempty"`
+	P95Ms     float64 `json:"p95_ms,omitempty"`
+	P99Ms     float64 `json:"p99_ms,omitempty"`
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	ShedRate  float64 `json:"shed_rate,omitempty"`
 }
 
 type report struct {
@@ -56,12 +67,33 @@ type report struct {
 		OptimizedMBps    float64 `json:"optimized_mbps"`
 		SpeedupVsSeed    float64 `json:"speedup_vs_seed"`
 	} `json:"host_fast_path"`
+	// ServeLatency cross-checks the load harness's ground-truth p99
+	// against the server's own /metrics histogram: both are bucket upper
+	// bounds, so agreement means the same (or an adjacent) refined
+	// sub-bucket of the server's 4-per-octave histogram.
+	ServeLatency *serveLatencySummary `json:"serve_latency,omitempty"`
+}
+
+type serveLatencySummary struct {
+	RPS          float64 `json:"rps"`
+	DurationS    float64 `json:"duration_s"`
+	Seed         uint64  `json:"seed"`
+	HarnessP99Ms float64 `json:"harness_p99_ms"`
+	MetricsP99Ms float64 `json:"metrics_p99_ms"`
+	// SubBucketsApart is the distance between the two p99 estimates in
+	// units of the refined histogram's sub-bucket ratio (1.25×):
+	// |log(harness/metrics)| / log(1.25). Agree means ≤ 1 — the
+	// distance is within one sub-bucket width, measured in value space
+	// rather than by bucket index so a hair's-width gap straddling a
+	// bucket boundary doesn't read as a two-bucket miss.
+	SubBucketsApart float64 `json:"sub_buckets_apart"`
+	Agree           bool    `json:"agree"`
 }
 
 func main() {
 	size := flag.Int("size", 8<<20, "corpus size in bytes")
 	iters := flag.Int("iters", 3, "timed iterations per benchmark (best is reported)")
-	out := flag.String("o", "BENCH_7.json", "output JSON path")
+	out := flag.String("o", "BENCH_9.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 MB corpus, 1 iteration")
 	flag.Parse()
 	if *short {
@@ -478,6 +510,156 @@ func main() {
 	gzHotTS.Close()
 	rep.Benchmarks = append(rep.Benchmarks, gzCold, gzWarm, gzHot)
 
+	// Serving latency under open-loop load (PR 9): a seeded zipfian run
+	// from internal/loadgen against a fresh self-hosted server, reported
+	// per phase. Unlike the throughput rows above, these are quantiles of
+	// individual request latencies measured from each request's intended
+	// arrival instant — queueing delay included. The run then cross-checks
+	// the harness p99 against the server's own /metrics histogram; both
+	// are bucket upper bounds, so they must land in the same or an
+	// adjacent sub-bucket of the server's coarser 4-per-octave histogram.
+	{
+		ltDir, err := os.MkdirTemp("", "gompresso-bench-load")
+		if err != nil {
+			fatal("load dir: %v", err)
+		}
+		defer os.RemoveAll(ltDir)
+		const ltSeed = 9
+		spec := loadgen.CorpusSpec{Objects: 16, MinSize: 64 << 10, MaxSize: 1 << 20, Seed: ltSeed}
+		ltRPS, ltDur := 40.0, 15*time.Second
+		if *short {
+			spec.Objects, spec.MaxSize = 8, 256<<10
+			ltRPS, ltDur = 25.0, 6*time.Second
+		}
+		objs, err := loadgen.BuildCorpus(ltDir, spec)
+		if err != nil {
+			fatal("load corpus: %v", err)
+		}
+		ltSrv, err := server.New(server.Options{Root: ltDir, CacheBytes: 64 << 20, Logf: nil})
+		if err != nil {
+			fatal("load server: %v", err)
+		}
+		ltTS := httptest.NewServer(ltSrv.Handler())
+		// Decode-heavy mix: ranges large enough that decode time dominates
+		// per-request HTTP overhead, so harness service latency and the
+		// server's handler-time histogram describe the same quantity.
+		ltRep, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  ltTS.URL,
+			Objects:  objs,
+			RPS:      ltRPS,
+			Duration: ltDur,
+			ZipfS:    1.1,
+			Ranges: []loadgen.RangeClass{
+				{Weight: 0.7, Min: 128 << 10, Max: 512 << 10},
+				{Weight: 0.3, Min: 512 << 10, Max: 1 << 20},
+			},
+			Deadline: 5 * time.Second,
+			Seed:     ltSeed,
+		})
+		if err != nil {
+			fatal("load run: %v", err)
+		}
+		for _, p := range ltRep.Phases {
+			name := "ServeLatency_" + string(p.Phase[0]-'a'+'A') + p.Phase[1:]
+			rep.Benchmarks = append(rep.Benchmarks, result{
+				Name:      name,
+				P50Ms:     p.P50Ms,
+				P95Ms:     p.P95Ms,
+				P99Ms:     p.P99Ms,
+				ErrorRate: p.ErrorRate,
+				ShedRate:  p.ShedRate,
+			})
+		}
+
+		ltTS.Close()
+
+		// Agreement run: a separate decode-heavy, *closed-loop* workload
+		// against a fresh server. This is a calibration experiment, not
+		// an SLO measurement: the question is whether the server's
+		// histogram and the harness's service clock agree on the same
+		// requests. Under open-loop concurrency on a 1-vCPU box the tail
+		// requests are by construction the most contended ones, where
+		// pre-handler goroutine scheduling and post-handler socket-drain
+		// time accrue only on the client clock — measured divergence of
+		// 1.3-1.4x at p99 regardless of mix. Serial requests make both
+		// clocks bracket the same isolated work; the residual gap (request
+		// parse, final kernel-buffered drain) stays well inside one
+		// sub-bucket when decode dominates, hence the multi-MB ranges.
+		agDir, err := os.MkdirTemp("", "gompresso-bench-agree")
+		if err != nil {
+			fatal("agree dir: %v", err)
+		}
+		defer os.RemoveAll(agDir)
+		agSpec := loadgen.CorpusSpec{Objects: 5, MinSize: 6 << 20, MaxSize: 8 << 20, Seed: ltSeed}
+		agRPS, agDur := 15.0, 12*time.Second
+		agMix := []loadgen.RangeClass{{Weight: 1, Min: 2 << 20, Max: 6 << 20}}
+		if *short {
+			// Same object and range sizes as the full run — the residual
+			// clock gap is roughly constant, so shrinking the decode would
+			// inflate it relative to the bucket width — just fewer of them.
+			agSpec.Objects = 4
+			agDur = 8 * time.Second
+		}
+		agObjs, err := loadgen.BuildCorpus(agDir, agSpec)
+		if err != nil {
+			fatal("agree corpus: %v", err)
+		}
+		agSrv, err := server.New(server.Options{Root: agDir, CacheBytes: 64 << 20, Logf: nil})
+		if err != nil {
+			fatal("agree server: %v", err)
+		}
+		agTS := httptest.NewServer(agSrv.Handler())
+		agRep, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  agTS.URL,
+			Objects:  agObjs,
+			RPS:      agRPS,
+			Duration: agDur,
+			ZipfS:    1.1,
+			Ranges:   agMix,
+			Deadline: 10 * time.Second,
+			Seed:     ltSeed,
+			Closed:   true,
+		})
+		if err != nil {
+			fatal("agree run: %v", err)
+		}
+		metricsP99 := func() float64 {
+			resp, err := http.Get(agTS.URL + "/metrics?format=json")
+			if err != nil {
+				fatal("metrics: %v", err)
+			}
+			defer resp.Body.Close()
+			var m map[string]float64
+			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+				fatal("metrics decode: %v", err)
+			}
+			return m["request_latency_ns_p99"]
+		}()
+		agTS.Close()
+		// Compare service latency (clocked from the actual send), not the
+		// open-loop headline number: dispatch lag is real workload-visible
+		// queueing but the server's histogram cannot see it.
+		harnessNs := agRep.Overall.ServiceP99Ms * 1e6
+		bLo, bHi := perf.BucketBounds(int64(metricsP99) - 1)
+		apart := math.Abs(math.Log(harnessNs/metricsP99)) / math.Log(float64(bHi)/float64(bLo))
+		rep.ServeLatency = &serveLatencySummary{
+			RPS:             agRPS,
+			DurationS:       agDur.Seconds(),
+			Seed:            ltSeed,
+			HarnessP99Ms:    agRep.Overall.ServiceP99Ms,
+			MetricsP99Ms:    metricsP99 / 1e6,
+			SubBucketsApart: apart,
+			Agree:           apart <= 1,
+		}
+		if !rep.ServeLatency.Agree {
+			// Recorded, not fatal: on a loaded 1-vCPU runner the harness
+			// clock legitimately includes client-side overhead the server
+			// histogram cannot see.
+			fmt.Fprintf(os.Stderr, "bench: WARNING: harness p99 %.2fms vs metrics p99 %.2fms (%.2f sub-buckets apart)\n",
+				rep.ServeLatency.HarnessP99Ms, rep.ServeLatency.MetricsP99Ms, apart)
+		}
+	}
+
 	rep.HostFastPath.SeedBaselineMBps = seedHostBitMBps
 	rep.HostFastPath.ReferenceMBps = ref.HostGBps * 1000
 	rep.HostFastPath.OptimizedMBps = fast.HostGBps * 1000
@@ -498,9 +680,16 @@ func main() {
 			fmt.Printf("  %-28s %8.2f sim-GB/s  %6.3f host-GB/s\n", r.Name, r.SimGBps, r.HostGBps)
 		case r.HitRate > 0:
 			fmt.Printf("  %-28s %28.3f host-GB/s  hit rate %.3f\n", r.Name, r.HostGBps, r.HitRate)
+		case r.P99Ms > 0:
+			fmt.Printf("  %-28s p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  err %.4f  shed %.4f\n",
+				r.Name, r.P50Ms, r.P95Ms, r.P99Ms, r.ErrorRate, r.ShedRate)
 		default:
 			fmt.Printf("  %-28s %28.3f host-GB/s\n", r.Name, r.HostGBps)
 		}
+	}
+	if sl := rep.ServeLatency; sl != nil {
+		fmt.Printf("  serve latency: harness p99 %.2fms vs /metrics p99 %.2fms (agree=%v, %.2f sub-buckets)\n",
+			sl.HarnessP99Ms, sl.MetricsP99Ms, sl.Agree, sl.SubBucketsApart)
 	}
 	fmt.Printf("  host fast path: %.0f MB/s vs %.0f MB/s seed baseline (%.2fx)\n",
 		rep.HostFastPath.OptimizedMBps, seedHostBitMBps, rep.HostFastPath.SpeedupVsSeed)

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gompresso/internal/fault"
+	"gompresso/internal/loadgen"
+	"gompresso/internal/server"
+)
+
+// loadtestCmd drives open-loop zipfian load against a gompresso serve
+// instance and reports per-phase latency quantiles and error rates.
+//
+// Two targeting modes:
+//
+//   - `-url http://host:port`: load an already-running server. The
+//     corpus must have been materialized on the serving box with the
+//     same -objects/-min-size/-max-size/-seed (e.g. by running
+//     `gompresso loadtest -root <dir> -build-only` there first); the
+//     load box regenerates the object list from the spec alone.
+//   - `-root dir` (default): self-host — build the corpus under dir,
+//     start an in-process server on 127.0.0.1:0, and load it over real
+//     HTTP. One box, zero setup, same code path as production.
+func loadtestCmd(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	url := fs.String("url", "", "target base URL of a running server ('' = self-host from -root)")
+	root := fs.String("root", "", "corpus directory for self-hosted mode ('' = temp dir)")
+	buildOnly := fs.Bool("build-only", false, "materialize the corpus under -root and exit (serving-box setup for -url mode)")
+	rps := fs.Float64("rps", 50, "open-loop arrival rate, requests/second")
+	duration := fs.Duration("duration", 15*time.Second, "run length (split into cold/warm/hot thirds)")
+	zipfS := fs.Float64("zipf-s", 1.1, "object popularity exponent (0 = uniform)")
+	objects := fs.Int("objects", 32, "corpus object count")
+	minSize := fs.String("min-size", "64k", "smallest object (k/m/g suffixes)")
+	maxSize := fs.String("max-size", "2m", "largest object")
+	ranges := fs.String("ranges", "", "range-size mix, e.g. '50:4k-64k,35:64k-1m,10:1m-4m,5:full' ('' = default mix)")
+	deadline := fs.Duration("deadline", 5*time.Second, "per-request deadline (0 disables)")
+	closed := fs.Bool("closed", false, "closed-loop calibration mode: one request in flight at a time (clock cross-checks, not SLOs)")
+	seed := fs.Uint64("seed", 1, "schedule + corpus seed")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	// Self-hosted server knobs, mirroring `gompresso serve`.
+	cacheMB := fs.Int64("cache", 64, "self-host: decoded-block cache budget in MiB")
+	maxInFlight := fs.Int("max-inflight", 0, "self-host: max concurrent decoding requests (0 = 4x GOMAXPROCS)")
+	queueWait := fs.Duration("queue-wait", 5*time.Second, "self-host: limiter queue bound before 503 shed")
+	faultSpec := fs.String("fault", "", "self-host DEV ONLY: fault-injection script (see internal/fault)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("loadtest takes flags only")
+	}
+
+	mn, err := parseSizeFlag(*minSize)
+	if err != nil {
+		return fmt.Errorf("-min-size: %w", err)
+	}
+	mx, err := parseSizeFlag(*maxSize)
+	if err != nil {
+		return fmt.Errorf("-max-size: %w", err)
+	}
+	spec := loadgen.CorpusSpec{Objects: *objects, MinSize: mn, MaxSize: mx, Seed: *seed}
+
+	var mix []loadgen.RangeClass
+	if *ranges != "" {
+		if mix, err = loadgen.ParseRangeMix(*ranges); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var objs []loadgen.Object
+	target := *url
+	if target == "" || *buildOnly {
+		dir := *root
+		if dir == "" {
+			if *buildOnly {
+				return fmt.Errorf("-build-only needs -root")
+			}
+			tmp, err := os.MkdirTemp("", "gompresso-loadtest-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: building %d-object corpus under %s (seed %d)\n", *objects, dir, *seed)
+		if objs, err = loadgen.BuildCorpus(dir, spec); err != nil {
+			return err
+		}
+		if *buildOnly {
+			fmt.Fprintf(os.Stderr, "loadtest: corpus ready; run with -url against the server serving %s\n", dir)
+			return nil
+		}
+
+		opts := server.Options{
+			Root:        dir,
+			CacheBytes:  *cacheMB << 20,
+			MaxInFlight: *maxInFlight,
+			QueueWait:   *queueWait,
+		}
+		if *faultSpec != "" {
+			script, err := fault.Parse(*faultSpec)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "loadtest: FAULT INJECTION ACTIVE: %s\n", script)
+			opts.Source = server.NewFaultSource(server.NewDirSource(dir), script)
+		}
+		srv, err := server.New(opts)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go hs.Serve(ln)
+		defer hs.Close()
+		target = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadtest: self-hosted server on %s\n", target)
+	} else {
+		// Remote mode: the corpus already exists on the serving box;
+		// reconstruct the same object list from the spec.
+		objs = loadgen.SpecObjects(spec)
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:  target,
+		Objects:  objs,
+		RPS:      *rps,
+		Duration: *duration,
+		ZipfS:    *zipfS,
+		Ranges:   mix,
+		Deadline: *deadline,
+		Seed:     *seed,
+		Closed:   *closed,
+	})
+	if err != nil && rep == nil {
+		return err
+	}
+
+	// Cross-check the harness's ground truth against the server's own
+	// histogram: service p99 (clocked from the actual send, so it is the
+	// same quantity the handler measures plus transport overhead) vs the
+	// exported request_latency_ns_p99.
+	out := struct {
+		*loadgen.Report
+		MetricsP99Ms float64 `json:"metrics_p99_ms,omitempty"`
+	}{Report: rep}
+	if p99, merr := scrapeMetricsP99(ctx, target); merr == nil && p99 > 0 {
+		out.MetricsP99Ms = p99 / 1e6
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep.Text())
+		if out.MetricsP99Ms > 0 {
+			fmt.Printf("service p99 %.2fms vs server /metrics p99 %.2fms\n",
+				rep.Overall.ServiceP99Ms, out.MetricsP99Ms)
+		}
+	}
+	return err
+}
+
+func scrapeMetricsP99(ctx context.Context, target string) (float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/metrics?format=json", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, err
+	}
+	return m["request_latency_ns_p99"], nil
+}
+
+func parseSizeFlag(s string) (int64, error) {
+	mix, err := loadgen.ParseRangeMix("1:" + s + "-" + s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return mix[0].Min, nil
+}

@@ -12,6 +12,7 @@
 //	gompresso verify     [flags] <in>     (compress+decompress in memory)
 //	gompresso index      [flags] <in>     (build a .gzx seek-index sidecar for a .gz/.zz)
 //	gompresso serve      [flags]          (HTTP range server over -root)
+//	gompresso loadtest   [flags]          (open-loop latency load harness against serve)
 //	gompresso version    [-v]             (build metadata from the embedded build info)
 //
 // compress streams its input through the parallel gompresso.Writer, so
@@ -55,6 +56,8 @@ func main() {
 		err = indexCmd(args)
 	case "serve":
 		err = serveCmd(args)
+	case "loadtest":
+		err = loadtestCmd(args)
 	case "version":
 		err = versionCmd(args)
 	default:
@@ -67,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|cat|info|stat|verify|index|serve} [flags] <in> [out]")
+	fmt.Fprintln(os.Stderr, "usage: gompresso {compress|decompress|cat|info|stat|verify|index|serve|loadtest} [flags] <in> [out]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,357 @@
+// Package loadgen is the open-loop load harness for gompresso serve:
+// it fires a seeded, zipfian-popularity, mixed-range-size request
+// schedule at a target (in-process handler or remote URL) at a fixed
+// arrival rate, and records ground-truth latency for every request in
+// an HDR-style histogram.
+//
+// Open-loop is the load-bearing property. A closed-loop client (fixed
+// worker pool, next request after the previous response) slows its own
+// arrival rate exactly when the server degrades, so the latencies it
+// reports omit the queueing delay real independent clients would see.
+// Here every request's latency clock starts at its *scheduled* arrival
+// instant: if the server (or the client's own dispatch loop) falls
+// behind, that lag is measured, not absorbed.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL is the target server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests; nil gets a keep-alive tuned default.
+	Client *http.Client
+	// Objects is the corpus the schedule draws from (names resolve
+	// relative to BaseURL). Sizes bound the generated ranges.
+	Objects []Object
+	// RPS is the open-loop arrival rate (Poisson mean), required > 0.
+	RPS float64
+	// Duration is the total run length, split into three equal phases:
+	// cold, warm, hot.
+	Duration time.Duration
+	// ZipfS is the popularity exponent (0 = uniform).
+	ZipfS float64
+	// Ranges is the request-size mix; nil = DefaultRangeMix.
+	Ranges []RangeClass
+	// Deadline bounds each request; 0 = no per-request deadline.
+	Deadline time.Duration
+	// Seed fixes the whole schedule.
+	Seed uint64
+	// Closed switches the run to closed-loop: at most one request in
+	// flight, the next dispatched at its scheduled instant or when the
+	// previous completes, whichever is later. This deliberately gives up
+	// the open-loop property — use it only for clock calibration, where
+	// the point is comparing the harness's service clock against the
+	// server's own histogram over *isolated* requests. Under concurrency
+	// on a small box, tail requests accumulate client-side scheduling
+	// and socket-drain time the server clock cannot see, so an open-loop
+	// tail is the wrong instrument for validating /metrics; a serial run
+	// makes both clocks bracket the same work.
+	Closed bool
+}
+
+// Phase names, in order. Cold starts against empty caches, warm and hot
+// measure the steady state the SLO actually covers.
+var PhaseNames = [3]string{"cold", "warm", "hot"}
+
+// PhaseReport is the measured outcome of one phase (or the whole run).
+type PhaseReport struct {
+	Phase    string `json:"phase"`
+	Requests int64  `json:"requests"`
+	OK       int64  `json:"ok"`
+	Shed     int64  `json:"shed"`
+	Timeout  int64  `json:"timeout"`
+	Errors   int64  `json:"errors"`
+	// ErrorRate counts everything that is not an intentional response:
+	// timeouts + transport/status errors, over all requests. Sheds are
+	// reported separately — a 503 with Retry-After is the server
+	// working as designed, and folding it into errors would hide real
+	// failures behind load shedding.
+	ErrorRate float64 `json:"error_rate"`
+	ShedRate  float64 `json:"shed_rate"`
+	// Latency quantiles over OK responses only, milliseconds. Shed and
+	// errored requests answer fast for the wrong reason; mixing them in
+	// would flatter the tail.
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// Service latency is clocked from the moment the request is actually
+	// sent, not its scheduled arrival — the per-request cost the server
+	// itself can see. The headline quantiles above charge open-loop
+	// dispatch lag (the SLO view); these don't, which makes them the
+	// number to cross-check against the server's own /metrics histogram.
+	ServiceP50Ms float64 `json:"service_p50_ms"`
+	ServiceP99Ms float64 `json:"service_p99_ms"`
+	// AchievedRPS is completions/second; under open-loop overload it
+	// stays below the configured rate while latency grows.
+	AchievedRPS float64 `json:"achieved_rps"`
+	Bytes       int64   `json:"bytes"`
+}
+
+// Report is the full result of a run.
+type Report struct {
+	Target   string        `json:"target"`
+	RPS      float64       `json:"rps"`
+	Duration float64       `json:"duration_s"`
+	ZipfS    float64       `json:"zipf_s"`
+	Objects  int           `json:"objects"`
+	Seed     uint64        `json:"seed"`
+	Overall  PhaseReport   `json:"overall"`
+	Phases   []PhaseReport `json:"phases"`
+}
+
+// phaseStats accumulates one phase while the run is live.
+type phaseStats struct {
+	lat      Recorder // open-loop latency (from intended arrival), OK only
+	svc      Recorder // service latency (from actual send), OK only
+	requests int64
+	ok       int64
+	shed     int64
+	timeout  int64
+	errors   int64
+	bytes    int64
+	mu       sync.Mutex // guards the plain counters above
+}
+
+func (p *phaseStats) record(outcome int, lat, svc time.Duration, n int64) {
+	p.mu.Lock()
+	p.requests++
+	p.bytes += n
+	switch outcome {
+	case outcomeOK:
+		p.ok++
+	case outcomeShed:
+		p.shed++
+	case outcomeTimeout:
+		p.timeout++
+	default:
+		p.errors++
+	}
+	p.mu.Unlock()
+	if outcome == outcomeOK {
+		p.lat.Observe(lat)
+		p.svc.Observe(svc)
+	}
+}
+
+const (
+	outcomeOK = iota
+	outcomeShed
+	outcomeTimeout
+	outcomeError
+)
+
+func (p *phaseStats) report(name string, wall time.Duration) PhaseReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := PhaseReport{
+		Phase:    name,
+		Requests: p.requests,
+		OK:       p.ok,
+		Shed:     p.shed,
+		Timeout:  p.timeout,
+		Errors:   p.errors,
+		Bytes:    p.bytes,
+		P50Ms:    ms(p.lat.Quantile(0.50)),
+		P95Ms:    ms(p.lat.Quantile(0.95)),
+		P99Ms:    ms(p.lat.Quantile(0.99)),
+		P999Ms:   ms(p.lat.Quantile(0.999)),
+		MaxMs:    ms(p.lat.Max()),
+		MeanMs:   ms(p.lat.Mean()),
+
+		ServiceP50Ms: ms(p.svc.Quantile(0.50)),
+		ServiceP99Ms: ms(p.svc.Quantile(0.99)),
+	}
+	if p.requests > 0 {
+		r.ErrorRate = float64(p.timeout+p.errors) / float64(p.requests)
+		r.ShedRate = float64(p.shed) / float64(p.requests)
+	}
+	if wall > 0 {
+		r.AchievedRPS = float64(p.requests) / wall.Seconds()
+	}
+	return r
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// DefaultClient returns an http.Client suited to open-loop load: a wide
+// idle-connection pool so concurrency spikes do not serialize on
+// connection setup, and no client-level timeout (deadlines are per
+// request, from Config.Deadline).
+func DefaultClient() *http.Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: t}
+}
+
+// Run executes the configured load against the target and blocks until
+// every dispatched request has completed (or ctx is cancelled, which
+// cancels in-flight requests too).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Objects) == 0 {
+		return nil, fmt.Errorf("loadgen: no objects")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", cfg.Duration)
+	}
+	sched, err := NewSchedule(cfg.Objects, cfg.RPS, cfg.ZipfS, cfg.Ranges, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = DefaultClient()
+	}
+	base := strings.TrimRight(cfg.BaseURL, "/")
+
+	var phases [3]phaseStats
+	var overall phaseStats
+	dur := cfg.Duration.Seconds()
+	phaseLen := dur / 3
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var wg sync.WaitGroup
+dispatch:
+	for {
+		req := sched.Next()
+		if req.At >= dur {
+			break
+		}
+		// Open-loop pacing: wait for the scheduled instant, then fire
+		// regardless of how many requests are still in flight.
+		timer.Reset(time.Until(start.Add(time.Duration(req.At * float64(time.Second)))))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			break dispatch
+		}
+		phase := int(req.At / phaseLen)
+		if phase > 2 {
+			phase = 2
+		}
+		intended := start.Add(time.Duration(req.At * float64(time.Second)))
+		one := func(req Request, phase int, intended time.Time) {
+			sent := time.Now()
+			outcome, n := issue(ctx, client, base, cfg.Objects[req.Obj], req, cfg.Deadline)
+			done := time.Now()
+			// The headline latency clock starts at the intended arrival,
+			// not the actual send: dispatch lag is server-visible
+			// queueing from the workload's point of view and must be
+			// charged. The service clock starts at the send.
+			lat := done.Sub(intended)
+			svc := done.Sub(sent)
+			phases[phase].record(outcome, lat, svc, n)
+			overall.record(outcome, lat, svc, n)
+		}
+		if cfg.Closed {
+			one(req, phase, intended)
+			continue
+		}
+		wg.Add(1)
+		go func(req Request, phase int, intended time.Time) {
+			defer wg.Done()
+			one(req, phase, intended)
+		}(req, phase, intended)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Target:   cfg.BaseURL,
+		RPS:      cfg.RPS,
+		Duration: dur,
+		ZipfS:    cfg.ZipfS,
+		Objects:  len(cfg.Objects),
+		Seed:     cfg.Seed,
+		Overall:  overall.report("overall", wall),
+	}
+	for i := range phases {
+		w := time.Duration(phaseLen * float64(time.Second))
+		if i == 2 && wall < cfg.Duration {
+			w = wall - 2*w
+		}
+		rep.Phases = append(rep.Phases, phases[i].report(PhaseNames[i], w))
+	}
+	return rep, ctx.Err()
+}
+
+// issue sends one scheduled request and classifies the outcome,
+// returning the body byte count.
+func issue(ctx context.Context, client *http.Client, base string, obj Object, req Request, deadline time.Duration) (int, int64) {
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/"+obj.Name, nil)
+	if err != nil {
+		return outcomeError, 0
+	}
+	wantStatus := http.StatusOK
+	wantLen := obj.Size
+	if req.Len >= 0 {
+		hr.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", req.Off, req.Off+req.Len-1))
+		wantStatus = http.StatusPartialContent
+		wantLen = req.Len
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return outcomeTimeout, 0
+		}
+		return outcomeError, 0
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return outcomeShed, n
+	case err != nil:
+		if errors.Is(err, context.DeadlineExceeded) {
+			return outcomeTimeout, n
+		}
+		return outcomeError, n
+	case resp.StatusCode != wantStatus || n != wantLen:
+		return outcomeError, n
+	}
+	return outcomeOK, n
+}
+
+// Text renders the report for humans, one aligned row per phase.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target %s  rps %.0f  duration %.0fs  zipf %.2f  objects %d  seed %d\n",
+		r.Target, r.RPS, r.Duration, r.ZipfS, r.Objects, r.Seed)
+	fmt.Fprintf(&b, "%-8s %8s %6s %6s %6s %6s %9s %9s %9s %9s %9s %8s\n",
+		"phase", "requests", "ok", "shed", "tmo", "err", "p50ms", "p95ms", "p99ms", "p999ms", "maxms", "rps")
+	rows := append([]PhaseReport{}, r.Phases...)
+	rows = append(rows, r.Overall)
+	for _, p := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %6d %6d %6d %6d %9.2f %9.2f %9.2f %9.2f %9.2f %8.1f\n",
+			p.Phase, p.Requests, p.OK, p.Shed, p.Timeout, p.Errors,
+			p.P50Ms, p.P95Ms, p.P99Ms, p.P999Ms, p.MaxMs, p.AchievedRPS)
+	}
+	fmt.Fprintf(&b, "error_rate %.4f  shed_rate %.4f  bytes %d\n",
+		r.Overall.ErrorRate, r.Overall.ShedRate, r.Overall.Bytes)
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is the harness's ground-truth latency store: an HDR-style
+// log-linear histogram fine enough (32 sub-buckets per octave, ~3.1%
+// relative error) that the server's coarser /metrics histogram is
+// checked against it, never the reverse. Recording is a single atomic
+// add, so completion goroutines never serialize on a lock; quantiles
+// are extracted once at report time.
+//
+// This intentionally duplicates the shape of perf.Histogram rather than
+// reusing it: the server's histogram trades precision for a footprint
+// it can afford on every request path, while the harness pays 15 KiB
+// per phase for precision — different budgets, same math.
+type Recorder struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [recNumBuckets]atomic.Int64
+}
+
+const (
+	recSubBits    = 5
+	recSubBuckets = 1 << recSubBits
+	recNumBuckets = (64-recSubBits)<<recSubBits + recSubBuckets
+)
+
+// Observe records one latency. Non-positive values land in bucket 0.
+func (r *Recorder) Observe(d time.Duration) {
+	v := int64(d)
+	r.count.Add(1)
+	if v > 0 {
+		r.sum.Add(v)
+	}
+	for {
+		cur := r.max.Load()
+		if v <= cur || r.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	r.buckets[recBucketFor(v)].Add(1)
+}
+
+func recBucketFor(v int64) int {
+	if v < recSubBuckets {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 - recSubBits
+	return int(uint64(v)>>e&(recSubBuckets-1)) + (e+1)<<recSubBits
+}
+
+// recBucketUpper is the exclusive upper bound of bucket i (exact for
+// the low buckets, saturating at MaxInt64 at the top).
+func recBucketUpper(i int) int64 {
+	if i < recSubBuckets {
+		return int64(i)
+	}
+	e := i>>recSubBits - 1
+	base := uint64(recSubBuckets + i&(recSubBuckets-1) + 1)
+	if bits.Len64(base)+e > 63 {
+		return math.MaxInt64
+	}
+	return int64(base << e)
+}
+
+// Count returns the number of observations.
+func (r *Recorder) Count() int64 { return r.count.Load() }
+
+// Max returns the largest observation (0 with none).
+func (r *Recorder) Max() time.Duration { return time.Duration(r.max.Load()) }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (r *Recorder) Mean() time.Duration {
+	n := r.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(r.sum.Load() / n)
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1),
+// within one sub-bucket (~3.1%) of the true value, or 0 with no
+// observations.
+func (r *Recorder) Quantile(q float64) time.Duration {
+	total := r.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range r.buckets {
+		seen += r.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(recBucketUpper(i))
+		}
+	}
+	return time.Duration(recBucketUpper(recNumBuckets - 1))
+}

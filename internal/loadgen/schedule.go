@@ -1,0 +1,259 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The request schedule: WHAT to ask for and WHEN, fully determined by
+// the seed before a single request is sent. Arrivals are an open-loop
+// Poisson process — the next request fires at its scheduled instant
+// whether or not earlier ones have completed, so queueing delay inside
+// the server is observed instead of absorbed by the client (a
+// closed-loop client slows down exactly when the server does, hiding
+// the latency it should be measuring — the coordinated-omission trap).
+// Object popularity is zipfian over the corpus and range sizes follow a
+// configurable weighted mix, approximating a CDN-ish workload: a few
+// hot objects take most of the traffic, most requests are small ranges,
+// a tail of large sweeps keeps the decode path honest.
+
+// rng is the same splitmix64 used by internal/datagen: tiny, seedable,
+// and stable across Go releases, so a (seed, rps, corpus) triple names
+// one exact request sequence forever. math/rand/v2 would be as fast but
+// ties the schedule to the stdlib's generator choice.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (s *rng) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (s *rng) float() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// int63n returns a uniform value in [0, n); 0 when n <= 0.
+func (s *rng) int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(s.next() % uint64(n))
+}
+
+// zipf draws ranks in [0, n) with probability ∝ 1/(rank+1)^s via a
+// precomputed cumulative table and binary search.
+type zipf struct {
+	cum []float64
+	rng *rng
+}
+
+func newZipf(r *rng, n int, s float64) *zipf {
+	z := &zipf{cum: make([]float64, n), rng: r}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z
+}
+
+func (z *zipf) draw() int {
+	u := z.rng.float()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// RangeClass is one stratum of the request-size mix: with probability
+// proportional to Weight, the request asks for a range of uniform
+// length in [Min, Max] bytes. Max == 0 means a full-object GET (no
+// Range header) — the sequential sweep class.
+type RangeClass struct {
+	Weight float64 `json:"weight"`
+	Min    int64   `json:"min,omitempty"`
+	Max    int64   `json:"max,omitempty"`
+}
+
+// DefaultRangeMix approximates ranged-object traffic: mostly small
+// probes, a solid band of block-sized reads, a few multi-block sweeps,
+// and the occasional whole-object download.
+func DefaultRangeMix() []RangeClass {
+	return []RangeClass{
+		{Weight: 0.50, Min: 4 << 10, Max: 64 << 10},
+		{Weight: 0.35, Min: 64 << 10, Max: 1 << 20},
+		{Weight: 0.10, Min: 1 << 20, Max: 4 << 20},
+		{Weight: 0.05}, // full object
+	}
+}
+
+// ParseRangeMix parses a "weight:min-max,weight:min-max,..." spec, e.g.
+// "50:4k-64k,35:64k-1m,10:1m-4m,5:full". Sizes accept k/m/g suffixes;
+// "full" (or "0-0") is a whole-object GET.
+func ParseRangeMix(spec string) ([]RangeClass, error) {
+	var mix []RangeClass
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ws, sizes, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: range class %q: want weight:min-max", part)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("loadgen: range class %q: bad weight", part)
+		}
+		if sizes == "full" {
+			mix = append(mix, RangeClass{Weight: w})
+			continue
+		}
+		lo, hi, ok := strings.Cut(sizes, "-")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: range class %q: want min-max sizes", part)
+		}
+		min, err := parseSize(lo)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: range class %q: %w", part, err)
+		}
+		max, err := parseSize(hi)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: range class %q: %w", part, err)
+		}
+		if min <= 0 || max < min {
+			return nil, fmt.Errorf("loadgen: range class %q: need 0 < min <= max", part)
+		}
+		mix = append(mix, RangeClass{Weight: w, Min: min, Max: max})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("loadgen: empty range mix %q", spec)
+	}
+	return mix, nil
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+// Request is one scheduled request: fire At after run start, against
+// object Obj, for Len bytes at Off (Len < 0 = full-object GET).
+type Request struct {
+	At  float64 // seconds since run start (intended arrival)
+	Obj int
+	Off int64
+	Len int64
+}
+
+// Schedule generates the deterministic request sequence. One rng drives
+// everything — arrival gaps, popularity draws, range choices — so the
+// whole sequence replays from the seed alone.
+type Schedule struct {
+	rng     *rng
+	zipf    *zipf
+	perm    []int // popularity rank -> object index
+	objects []Object
+	mix     []RangeClass
+	mixCum  []float64
+	rps     float64
+	now     float64 // seconds; arrival clock
+}
+
+// NewSchedule builds a schedule over objects at rps requests/second.
+// zipfS is the popularity exponent (≥ 0; 0 = uniform); mix is the range
+// mix (nil = DefaultRangeMix). The popularity permutation is drawn from
+// the same seed, so which objects are hot is stable per seed but not
+// correlated with generation order or size.
+func NewSchedule(objects []Object, rps, zipfS float64, mix []RangeClass, seed uint64) (*Schedule, error) {
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("loadgen: no objects to schedule over")
+	}
+	if rps <= 0 {
+		return nil, fmt.Errorf("loadgen: rps must be positive, got %g", rps)
+	}
+	if zipfS < 0 {
+		return nil, fmt.Errorf("loadgen: negative zipf exponent %g", zipfS)
+	}
+	if mix == nil {
+		mix = DefaultRangeMix()
+	}
+	r := newRNG(seed)
+	s := &Schedule{
+		rng:     r,
+		zipf:    newZipf(r, len(objects), zipfS),
+		perm:    make([]int, len(objects)),
+		objects: objects,
+		mix:     mix,
+		rps:     rps,
+	}
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	// Fisher–Yates off the schedule rng: rank r serves object perm[r].
+	for i := len(s.perm) - 1; i > 0; i-- {
+		j := int(r.int63n(int64(i + 1)))
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+	}
+	var total float64
+	for _, c := range mix {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: range class weight %g not positive", c.Weight)
+		}
+		total += c.Weight
+		s.mixCum = append(s.mixCum, total)
+	}
+	for i := range s.mixCum {
+		s.mixCum[i] /= total
+	}
+	return s, nil
+}
+
+// Next returns the next scheduled request. Inter-arrival gaps are
+// exponential with mean 1/rps — a Poisson process, memoryless, so
+// bursts and lulls occur at realistic odds rather than a metronome's.
+func (s *Schedule) Next() Request {
+	// Invert the exponential CDF; clamp u away from 0 so log is finite.
+	u := s.rng.float()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	s.now += -math.Log(u) / s.rps
+
+	obj := s.perm[s.zipf.draw()]
+	size := s.objects[obj].Size
+
+	class := s.mix[sort.SearchFloat64s(s.mixCum, s.rng.float())]
+	if class.Max == 0 || size <= class.Min {
+		// Full-object class, or the object is too small to carve the
+		// class's range from: GET the whole thing.
+		return Request{At: s.now, Obj: obj, Off: 0, Len: -1}
+	}
+	max := class.Max
+	if max > size {
+		max = size
+	}
+	n := class.Min + s.rng.int63n(max-class.Min+1)
+	off := s.rng.int63n(size - n + 1)
+	return Request{At: s.now, Obj: obj, Off: off, Len: n}
+}

@@ -10,6 +10,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/bits"
 	"sort"
 	"strconv"
 	"sync"
@@ -49,16 +51,30 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // Histogram records durations (or any non-negative values) into
-// log-spaced buckets and reports approximate quantiles. Observations
+// log-linear buckets and reports approximate quantiles. Observations
 // are a single atomic add on the request path; quantile extraction
-// walks the buckets at scrape time. Bucket i covers [2^i, 2^(i+1))
-// units, so with nanosecond observations the relative error is a
-// factor of two — plenty for "did p99 blow up" dashboards.
+// walks the buckets at scrape time. Each power-of-two octave is split
+// into 2^subBucketBits equal sub-buckets (values below the first
+// octave are recorded exactly), so quantile upper bounds are within
+// one sub-bucket — at most 25% — of the true value, tight enough to
+// gate "did p99 move 20%" SLOs rather than just "did p99 blow up".
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
-	buckets [64]atomic.Int64
+	buckets [numBuckets]atomic.Int64
 }
+
+const (
+	// subBucketBits selects 4 sub-buckets per octave: bucket width is
+	// 1/4 of the octave's base, bounding relative quantile error at
+	// (subBuckets+1)/subBuckets = 1.25x.
+	subBucketBits = 2
+	subBuckets    = 1 << subBucketBits
+	// numBuckets covers every non-negative int64: the top value
+	// (2^63 - 1) has exponent 62, landing in bucket
+	// (62-subBucketBits+1)<<subBucketBits + 3 = 247.
+	numBuckets = (64-subBucketBits)<<subBucketBits + subBuckets
+)
 
 // Observe records one value. Non-positive values land in bucket 0.
 func (h *Histogram) Observe(v int64) {
@@ -69,13 +85,50 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketFor(v)].Add(1)
 }
 
+// bucketFor maps a value to its log-linear bucket. Values below
+// subBuckets get their own exact bucket; above that, the bucket is the
+// exponent octave split subBuckets ways by the next mantissa bits. The
+// mapping is continuous: bucketFor(subBuckets) == subBuckets, and each
+// octave's last sub-bucket abuts the next octave's first.
 func bucketFor(v int64) int {
-	b := 0
-	for v > 1 {
-		v >>= 1
-		b++
+	if v < subBuckets {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
 	}
-	return b
+	e := bits.Len64(uint64(v)) - 1 - subBucketBits
+	return int(uint64(v)>>e&(subBuckets-1)) + (e+1)<<subBucketBits
+}
+
+// bucketUpper is the exclusive upper bound of bucket i — the smallest
+// value that does NOT land in it (for the exact low buckets, the value
+// itself). The top buckets saturate at MaxInt64 rather than overflow.
+func bucketUpper(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	e := i>>subBucketBits - 1
+	base := uint64(subBuckets + i&(subBuckets-1) + 1)
+	if bits.Len64(base)+e > 63 {
+		return math.MaxInt64
+	}
+	return int64(base << e)
+}
+
+// BucketIndex exposes the bucket mapping so external recorders (the
+// load harness) can check agreement with a scraped quantile in units of
+// sub-buckets.
+func BucketIndex(v int64) int { return bucketFor(v) }
+
+// BucketBounds returns the [lo, hi) value range of the bucket holding v.
+func BucketBounds(v int64) (lo, hi int64) {
+	i := bucketFor(v)
+	if i < subBuckets {
+		return int64(i), int64(i) + 1
+	}
+	e := i>>subBucketBits - 1
+	return int64(subBuckets+i&(subBuckets-1)) << e, bucketUpper(i)
 }
 
 // Count returns the number of observations.
@@ -83,8 +136,8 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Quantile returns an upper bound for the q-th quantile (0 < q <= 1)
 // of everything observed so far, or 0 with no observations. The bound
-// is the top of the bucket holding the q-th sample, so it is at most
-// 2x the true value.
+// is the top of the sub-bucket holding the q-th sample: exact for
+// values below subBuckets, at most 1.25x the true value elsewhere.
 func (h *Histogram) Quantile(q float64) int64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -98,14 +151,14 @@ func (h *Histogram) Quantile(q float64) int64 {
 	for i := range h.buckets {
 		seen += h.buckets[i].Load()
 		if seen >= rank {
-			return int64(1) << uint(i+1)
+			return bucketUpper(i)
 		}
 	}
-	return int64(1) << 62
+	return bucketUpper(numBuckets - 1)
 }
 
 // Histogram registers a histogram under name, exposing
-// name_count, name_sum, and name_{p50,p95,p99} samplers.
+// name_count, name_sum, and name_{p50,p95,p99,p999} samplers.
 func (r *Registry) Histogram(name, help string) *Histogram {
 	h := &Histogram{}
 	r.register(name+"_count", help+" (observations)", func() float64 { return float64(h.count.Load()) })
@@ -113,7 +166,7 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	for _, q := range []struct {
 		label string
 		q     float64
-	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}, {"p999", 0.999}} {
 		q := q
 		r.register(name+"_"+q.label, help+" ("+q.label+", upper bound)",
 			func() float64 { return float64(h.Quantile(q.q)) })

@@ -3,6 +3,8 @@ package perf
 import (
 	"bytes"
 	"encoding/json"
+	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -118,7 +120,7 @@ func TestHistogram(t *testing.T) {
 	if h.Count() != 100 {
 		t.Fatalf("count = %d", h.Count())
 	}
-	// Bucket bounds are powers of two: 1000 lands in [512,1024) → bound 1024.
+	// Log-linear buckets, 4 per octave: 1000 lands in [896,1024) → bound 1024.
 	if p50 := h.Quantile(0.50); p50 != 1024 {
 		t.Fatalf("p50 = %d, want 1024", p50)
 	}
@@ -126,9 +128,9 @@ func TestHistogram(t *testing.T) {
 		t.Fatalf("p95 = %d, want 1024", p95)
 	}
 	// The outlier is exactly the 100th sample: p99 rank 99 is still fast,
-	// p100 (q=1) must see it.
-	if p100 := h.Quantile(1); p100 != 1<<21 {
-		t.Fatalf("p100 = %d, want %d", p100, 1<<21)
+	// p100 (q=1) must see it. 1<<20 lands in [1<<20, 5<<18) → bound 5<<18.
+	if p100 := h.Quantile(1); p100 != 5<<18 {
+		t.Fatalf("p100 = %d, want %d", p100, int64(5)<<18)
 	}
 	// The registry exposes derived samplers.
 	var buf bytes.Buffer
@@ -141,11 +143,92 @@ func TestHistogram(t *testing.T) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
 	}
-	// Non-positive observations count but go to bucket zero.
+	// Non-positive observations count but go to bucket zero, whose
+	// upper bound is exact: 0.
 	h2 := Histogram{}
 	h2.Observe(0)
 	h2.Observe(-5)
-	if h2.Count() != 2 || h2.Quantile(0.5) != 2 {
+	if h2.Count() != 2 || h2.Quantile(0.5) != 0 {
 		t.Fatalf("zero-bucket handling: count=%d q=%d", h2.Count(), h2.Quantile(0.5))
+	}
+}
+
+// TestBucketMapping pins the log-linear bucket layout: exact low
+// buckets, continuity across octave boundaries, and bounds that
+// actually contain their values.
+func TestBucketMapping(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 11, 15, 16, 31, 32, 63,
+		1000, 1023, 1024, 1<<20 - 1, 1 << 20, 1<<62 - 1, 1 << 62, 1<<63 - 1} {
+		i := BucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		lo, hi := BucketBounds(v)
+		// The top bucket's bound saturates at MaxInt64 (inclusive).
+		if v < lo || (v >= hi && hi != math.MaxInt64) {
+			t.Fatalf("value %d outside its bucket bounds [%d,%d)", v, lo, hi)
+		}
+	}
+	// Exact small buckets: one value per bucket below subBuckets.
+	for v := int64(0); v < subBuckets; v++ {
+		if got := BucketIndex(v); got != int(v) {
+			t.Fatalf("BucketIndex(%d) = %d, want exact", v, got)
+		}
+	}
+	// Adjacent buckets abut: each log-linear bucket's upper bound is the
+	// next bucket's lower bound (no gaps, no overlaps). The exact low
+	// buckets report the value itself, so they are excluded.
+	for i := subBuckets; i < numBuckets-1; i++ {
+		up := bucketUpper(i)
+		if up == math.MaxInt64 {
+			break // top reachable bucket: bound saturates
+		}
+		if got := bucketFor(up); got != i+1 {
+			t.Fatalf("bucketFor(bucketUpper(%d)=%d) = %d, want %d", i, up, got, i+1)
+		}
+	}
+}
+
+// TestHistogramQuantileError bounds the refined quantile estimate
+// against an exact oracle: the estimate must never be below the true
+// quantile and at most one sub-bucket (25%) above it — the property
+// that makes "did p99 move 20%" SLO gating meaningful.
+func TestHistogramQuantileError(t *testing.T) {
+	// Deterministic heavy-tailed-ish sample: a quadratic ramp with a
+	// sprinkle of large outliers, microsecond-to-second scale.
+	var h Histogram
+	var vals []int64
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < 20000; i++ {
+		v := int64(1000 + (next() % 1000000))
+		if i%97 == 0 {
+			v *= int64(1 + next()%500) // tail out to ~5e8
+		}
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		rank := int64(q * float64(len(sorted)))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := sorted[rank-1]
+		est := h.Quantile(q)
+		if est < exact {
+			t.Fatalf("q=%g: estimate %d below exact %d", q, est, exact)
+		}
+		if est*4 > exact*5 {
+			t.Fatalf("q=%g: estimate %d exceeds exact %d by more than one sub-bucket (25%%)", q, est, exact)
+		}
 	}
 }

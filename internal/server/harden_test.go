@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -276,6 +277,71 @@ func TestLoadShedding(t *testing.T) {
 	resp := get(t, ts.URL+"/sub/nested.gpz", nil)
 	if b := body(t, resp); resp.StatusCode != http.StatusOK || !bytes.Equal(b, fx.src) {
 		t.Fatalf("post-shed request: status %d", resp.StatusCode)
+	}
+}
+
+// Two sheds must never return identical Retry-After advice: a constant
+// tells every shed client to retry on the same second boundary, and
+// under open-loop load the whole shed cohort re-stampedes the queue
+// together. The advice staggers across the estimated drain window.
+func TestShedRetryAfterStaggered(t *testing.T) {
+	fx := newFixture(t)
+	script := mustScript(t, "corpus.txt.gz:latency=200ms#200")
+	src := NewFaultSource(NewDirSource(fx.root), script)
+	srv, ts := startServer(t, Options{
+		Root:        fx.root,
+		Source:      src,
+		MaxInFlight: 1,
+		QueueWait:   30 * time.Millisecond,
+	})
+	// The advice function itself: always in [1, 30] seconds, and no two
+	// consecutive calls agree.
+	prev := ""
+	for i := 0; i < 8; i++ {
+		adv := srv.retryAfterAdvice()
+		sec, err := strconv.Atoi(adv)
+		if err != nil || sec < 1 || sec > 30 {
+			t.Fatalf("advice %q not an integer in [1,30]", adv)
+		}
+		if adv == prev {
+			t.Fatalf("consecutive sheds advised the same Retry-After %q", adv)
+		}
+		prev = adv
+	}
+	// End to end: hold the single slot, collect two real shed responses,
+	// and compare their headers.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := get(t, ts.URL+"/corpus.txt.gz", nil)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if m := metricsJSON(t, ts.URL); m["inflight_requests"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never entered the decode section")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var advice []string
+	for i := 0; i < 20 && len(advice) < 2; i++ {
+		resp := get(t, ts.URL+"/sub/nested.gpz", nil)
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			advice = append(advice, resp.Header.Get("Retry-After"))
+		}
+		resp.Body.Close()
+	}
+	wg.Wait()
+	if len(advice) < 2 {
+		t.Fatalf("collected %d shed responses, want 2", len(advice))
+	}
+	if advice[0] == advice[1] {
+		t.Fatalf("two sheds returned identical Retry-After %q", advice[0])
 	}
 }
 

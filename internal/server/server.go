@@ -37,7 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 	"mime"
 	"net/http"
 	"os"
@@ -136,6 +136,14 @@ type Server struct {
 	// off it so load balancers stop routing before Shutdown closes
 	// connections.
 	ready atomic.Bool
+
+	// shedSeq numbers shed responses so consecutive Retry-After values
+	// stagger deterministically (two sheds never advise the same
+	// second). busyEWMANs tracks the recent decode-section occupancy
+	// per request (EWMA, α=1/8) — the drain-rate input to the
+	// Retry-After estimate.
+	shedSeq    atomic.Int64
+	busyEWMANs atomic.Int64
 
 	mu      sync.Mutex
 	objects map[string]*object
@@ -506,7 +514,7 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 	case <-shedC:
 		s.gWaiting.Dec()
 		s.mShed.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterAdvice())
 		http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
 		return nil
 	case <-ctx.Done():
@@ -515,7 +523,11 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 	}
 	defer func() { <-s.sem }()
 	s.gInFlight.Inc()
-	defer s.gInFlight.Dec()
+	busyStart := time.Now()
+	defer func() {
+		s.gInFlight.Dec()
+		s.observeBusy(time.Since(busyStart))
+	}()
 
 	size, err := s.objSize(ctx, obj)
 	if err != nil {
@@ -587,10 +599,54 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 // gone and nothing we write matters.
 func (s *Server) answerCtxErr(w *statusWriter, err error) error {
 	if errors.Is(err, context.DeadlineExceeded) && w.status == 0 {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterAdvice())
 		http.Error(w, "request timed out", http.StatusServiceUnavailable)
 	}
 	return err
+}
+
+// observeBusy folds one decode-section occupancy sample into the EWMA
+// that feeds Retry-After advice. The load/store pair is racy between
+// concurrent requests, but every access is atomic and the value is a
+// smoothed estimate — losing a sample under contention is harmless.
+func (s *Server) observeBusy(d time.Duration) {
+	sample := int64(d)
+	old := s.busyEWMANs.Load()
+	if old == 0 {
+		s.busyEWMANs.Store(sample)
+		return
+	}
+	s.busyEWMANs.Store(old + (sample-old)/8)
+}
+
+// retryAfterAdvice computes the Retry-After value for a shed or
+// timed-out request. A hardcoded constant re-stampedes the queue: every
+// shed client retries on the same second boundary, arrives together,
+// and is shed together again. Instead the advice derives from the
+// observed queue drain — queued requests each hold a limiter slot for
+// about the recent per-request occupancy, served MaxInFlight at a time
+// — and consecutive sheds rotate through the drain window so no two
+// clients are told the same second (the shed sequence is the jitter
+// source: deterministic splay, collision-free where a random draw could
+// still pile two clients onto one boundary).
+func (s *Server) retryAfterAdvice() string {
+	avg := s.busyEWMANs.Load()
+	if avg <= 0 {
+		avg = int64(50 * time.Millisecond)
+	}
+	waiting := s.gWaiting.Load()
+	if waiting < 0 {
+		waiting = 0
+	}
+	drain := time.Duration((waiting + 1) * avg / int64(cap(s.sem)))
+	// Spread the retries across the estimated drain window, at least 2
+	// distinct seconds (so consecutive sheds always differ) and at most
+	// 30 (advice beyond that just loses clients).
+	spread := int64(drain/time.Second) + 2
+	if spread > 30 {
+		spread = 30
+	}
+	return strconv.FormatInt(1+s.shedSeq.Add(1)%spread, 10)
 }
 
 // open resolves a request path to a served object, reusing the cached
@@ -891,8 +947,14 @@ func (s *Server) retrySequential(ctx context.Context, fn func() (retryable bool,
 			return err
 		}
 		s.mRetries.Inc()
+		// math/rand/v2: lock-free per-goroutine state, no global mutex
+		// on the request path. Guard the jitter draw — Int64N panics on
+		// a non-positive argument, and backoffBase could plausibly be
+		// configured to 0 someday.
 		delay := backoffBase << attempt
-		delay += time.Duration(rand.Int63n(int64(delay)))
+		if delay > 0 {
+			delay += time.Duration(rand.Int64N(int64(delay)))
+		}
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
