@@ -2,7 +2,7 @@
 // in-process and writes a machine-readable BENCH_<n>.json so the performance
 // trajectory is tracked from PR to PR (see EXPERIMENTS.md).
 //
-//	go run ./cmd/bench                 # full run, writes BENCH_9.json
+//	go run ./cmd/bench                 # full run, writes BENCH_10.json
 //	go run ./cmd/bench -short          # CI smoke: small corpus, 1 iteration
 //	go run ./cmd/bench -o results.json # custom output path
 //
@@ -93,7 +93,7 @@ type serveLatencySummary struct {
 func main() {
 	size := flag.Int("size", 8<<20, "corpus size in bytes")
 	iters := flag.Int("iters", 3, "timed iterations per benchmark (best is reported)")
-	out := flag.String("o", "BENCH_9.json", "output JSON path")
+	out := flag.String("o", "BENCH_10.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 MB corpus, 1 iteration")
 	flag.Parse()
 	if *short {
@@ -334,13 +334,21 @@ func main() {
 	if err := os.WriteFile(filepath.Join(serveDir, "corpus.gpz"), idxComp, 0o644); err != nil {
 		fatal("serve fixture: %v", err)
 	}
-	newServer := func() (*server.Server, *httptest.Server) {
-		s, err := server.New(server.Options{Root: serveDir, CacheBytes: 256 << 20, Logf: nil})
+	newServerOpts := func(opts server.Options) (*server.Server, *httptest.Server) {
+		opts.Root = serveDir
+		opts.CacheBytes = 256 << 20
+		s, err := server.New(opts)
 		if err != nil {
 			fatal("server: %v", err)
 		}
 		ts := httptest.NewServer(s.Handler())
 		return s, ts
+	}
+	// The default serving rows run with full observability — tracing on
+	// and the access log rendering to io.Discard — so the headline
+	// numbers include the cost every production request pays.
+	newServer := func() (*server.Server, *httptest.Server) {
+		return newServerOpts(server.Options{AccessLog: io.Discard})
 	}
 	rangeGet := func(base, name string, off, n int) int {
 		req, err := http.NewRequest(http.MethodGet, base+"/"+name, nil)
@@ -402,7 +410,20 @@ func main() {
 	})
 	hot.HitRate = hotSrv.Codec().CacheStats().HitRate()
 	hotTS.Close()
-	rep.Benchmarks = append(rep.Benchmarks, cold, hot)
+	// Same hot sweep with observability disabled: the delta between this
+	// row and ServeRange_Hot is the whole tracing + access-log overhead
+	// (budget: within 3% on the hot path).
+	_, noObsTS := newServerOpts(server.Options{NoTrace: true})
+	rangeGet(noObsTS.URL, "corpus.gpz", 0, rangeLen) // warm the cache
+	hotNoObs := host("ServeRange_Hot_NoObs", func() int {
+		total := 0
+		for i := 0; i < 8; i++ {
+			total += rangeGet(noObsTS.URL, "corpus.gpz", 0, rangeLen)
+		}
+		return total
+	})
+	noObsTS.Close()
+	rep.Benchmarks = append(rep.Benchmarks, cold, hot, hotNoObs)
 
 	// Foreign random access (PR 7): the .gz corpus behind a checkpoint
 	// seek index. GzipReadAt drives the index-backed ReaderAt directly —

@@ -147,6 +147,7 @@ func loadtestCmd(args []string) error {
 	if err != nil && rep == nil {
 		return err
 	}
+	mergeSlowestStages(ctx, target, rep.Slowest)
 
 	// Cross-check the harness's ground truth against the server's own
 	// histogram: service p99 (clocked from the actual send, so it is the
@@ -173,6 +174,47 @@ func loadtestCmd(args []string) error {
 		}
 	}
 	return err
+}
+
+// mergeSlowestStages joins the harness's slowest requests against the
+// server's /debug/requests ring by request id and fills in the
+// server-side per-stage timings. Best-effort: the ring is finite and
+// TTL'd, so a slow request from the cold phase may already be gone, and
+// a server running -no-trace has nothing to join against.
+func mergeSlowestStages(ctx context.Context, target string, slowest []loadgen.SlowRequest) {
+	if len(slowest) == 0 {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/debug/requests?n=64", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var dump struct {
+		Requests []struct {
+			ID     string           `json:"id"`
+			Stages map[string]int64 `json:"stages"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return
+	}
+	byID := make(map[string]map[string]int64, len(dump.Requests))
+	for _, r := range dump.Requests {
+		byID[r.ID] = r.Stages
+	}
+	for i := range slowest {
+		if st, ok := byID[slowest[i].ID]; ok && len(st) > 0 {
+			slowest[i].StageUs = st
+		}
+	}
 }
 
 func scrapeMetricsP99(ctx context.Context, target string) (float64, error) {

@@ -5,14 +5,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"gompresso/internal/buildinfo"
 	"gompresso/internal/fault"
 	"gompresso/internal/server"
 )
@@ -42,6 +45,9 @@ func serveCmd(args []string) error {
 	drainWait := fs.Duration("drain-wait", 0, "pause between flipping /readyz unready and starting shutdown (lets load balancers catch up)")
 	faultSpec := fs.String("fault", "", "DEV ONLY: fault-injection script, e.g. '*.gz:eio@4096;big*:latency=50ms' (see internal/fault)")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
+	accessLog := fs.String("access-log", "stderr", "structured JSON access log destination: stderr, off, or a file path (appended)")
+	noTrace := fs.Bool("no-trace", false, "disable request tracing, the access log, and /debug/requests")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (separate listener; '' disables)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes flags only")
@@ -50,6 +56,19 @@ func serveCmd(args []string) error {
 	logf := logger.Printf
 	if *quiet {
 		logf = nil
+	}
+	var accessW io.Writer
+	switch *accessLog {
+	case "off", "":
+	case "stderr":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("access-log: %w", err)
+		}
+		defer f.Close()
+		accessW = f
 	}
 	opts := server.Options{
 		Root:           *root,
@@ -64,6 +83,8 @@ func serveCmd(args []string) error {
 		IndexDir:       *indexDir,
 		IndexSpacing:   *indexSpacing,
 		Logf:           logf,
+		AccessLog:      accessW,
+		NoTrace:        *noTrace,
 	}
 	if *faultSpec != "" {
 		script, err := fault.Parse(*faultSpec)
@@ -84,13 +105,30 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Profiling stays off the serving listener: a different port means a
+	// firewall can expose one without the other, and a runaway profile
+	// download cannot occupy a serving connection slot.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof-addr: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Printf("pprof listening on http://%s/debug/pprof/", pln.Addr())
+		go func() { _ = http.Serve(pln, pmux) }()
+	}
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,
 	}
-	logger.Printf("%s", buildDescription())
+	logger.Printf("%s", buildinfo.Get().String())
 	logger.Printf("listening on http://%s root=%s cache=%dMiB", ln.Addr(), *root, *cacheMB)
 
 	// Graceful shutdown: flip /readyz so load balancers stop routing,

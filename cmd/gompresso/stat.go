@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"gompresso"
+	"gompresso/internal/buildinfo"
 	"gompresso/internal/format"
 	"gompresso/internal/gzidx"
 )
@@ -123,7 +124,7 @@ func statCmd(args []string) error {
 	}
 
 	if *asJSON {
-		st.Tool = buildDescription()
+		st.Tool = buildinfo.Get().String()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(&st)

@@ -5,46 +5,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+
+	"gompresso/internal/buildinfo"
 )
 
-// buildDescription summarizes what binary is running: module version
-// (when built from a tagged module), Go toolchain, and the VCS revision
-// and dirty bit stamped by `go build`. Everything comes from
-// runtime/debug.ReadBuildInfo, so it needs no ldflags plumbing and is
-// accurate for any build, including `go run`.
-func buildDescription() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "build info unavailable"
-	}
-	version := bi.Main.Version
-	if version == "" || version == "(devel)" {
-		version = "devel"
-	}
-	rev, dirty := "", ""
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			if len(s.Value) >= 12 {
-				rev = s.Value[:12]
-			} else {
-				rev = s.Value
-			}
-		case "vcs.modified":
-			if s.Value == "true" {
-				dirty = "+dirty"
-			}
-		}
-	}
-	out := fmt.Sprintf("gompresso %s (%s)", version, bi.GoVersion)
-	if rev != "" {
-		out += fmt.Sprintf(" rev %s%s", rev, dirty)
-	}
-	return out
-}
-
+// versionCmd prints the binary's identity. The same buildinfo feeds the
+// serving daemon's build_info metric, so `gompresso version` and a
+// scraped /metrics always agree on what is running.
 func versionCmd(args []string) error {
-	fmt.Printf("%s %s/%s\n", buildDescription(), runtime.GOOS, runtime.GOARCH)
+	fmt.Printf("%s %s/%s\n", buildinfo.Get(), runtime.GOOS, runtime.GOARCH)
 	if len(args) > 0 && args[0] == "-v" {
 		if bi, ok := debug.ReadBuildInfo(); ok {
 			fmt.Fprint(os.Stdout, bi)

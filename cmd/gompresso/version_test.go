@@ -3,15 +3,17 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"gompresso/internal/buildinfo"
 )
 
 func TestBuildDescription(t *testing.T) {
-	desc := buildDescription()
+	desc := buildinfo.Get().String()
 	if !strings.HasPrefix(desc, "gompresso ") {
-		t.Errorf("buildDescription() = %q, want gompresso prefix", desc)
+		t.Errorf("buildinfo = %q, want gompresso prefix", desc)
 	}
 	if !strings.Contains(desc, "go1") {
-		t.Errorf("buildDescription() = %q, want a Go toolchain version", desc)
+		t.Errorf("buildinfo = %q, want a Go toolchain version", desc)
 	}
 	if err := versionCmd(nil); err != nil {
 		t.Errorf("versionCmd: %v", err)

@@ -1,0 +1,645 @@
+package passes
+
+// The acquire/release abstract interpreter shared by refbalance
+// (pinned blockcache.Buf ↔ Release) and spanbalance (obs.Start span ↔
+// End). Both analyzers enforce the same shape of invariant — a value
+// acquired from a call owes exactly one settling method call on every
+// control-flow path — so the machinery lives here once, parameterized
+// by a balanceSpec, and each analyzer is a thin spec.
+//
+// The interpreter walks each function body with a small state lattice
+// per tracked variable. A variable acquires the owing state when
+// assigned from a call returning the target type (at any result-tuple
+// position); `defer x.<Release>()` settles the obligation; branch
+// merges union the possible states; and the `x, err := ...; if err !=
+// nil` idiom is understood (nothing is owed on the failure path).
+// Obligations that move out of scope — returning the value, passing it
+// to a callee, storing it anywhere — end local tracking rather than
+// report, so helpers that intentionally hand an obligation upward stay
+// clean. Functions using goto or labeled branches are skipped.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gompresso/internal/analysis"
+)
+
+// balanceSpec parameterizes the interpreter for one acquire/release
+// discipline.
+type balanceSpec struct {
+	// exemptPkgs are package-path suffixes whose internals manage the
+	// discipline directly (the implementing package itself).
+	exemptPkgs []string
+	// releaseName is the settling method ("Release", "End").
+	releaseName string
+	// isTarget recognizes the tracked type among a call's results.
+	isTarget func(types.Type) bool
+	// Diagnostics. msgLeak, msgReassign, and msgDouble take the
+	// variable name; msgDiscard takes no arguments.
+	msgLeak     string
+	msgDiscard  string
+	msgReassign string
+	msgDouble   string
+}
+
+// refMask is a set of possible states for one tracked variable.
+type refMask uint8
+
+const (
+	stPinned   refMask = 1 << iota // acquired, settling call owed on this path
+	stDeferred                     // acquired, settling call deferred
+	stReleased                     // settled
+	stUnknown                      // escaped, failure path, or lost track
+)
+
+type refEnv map[*types.Var]refMask
+
+func (e refEnv) clone() refEnv {
+	c := make(refEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+func mergeEnv(a, b refEnv) refEnv {
+	m := a.clone()
+	for k, v := range b {
+		m[k] |= v
+	}
+	return m
+}
+
+func runBalance(pass *analysis.Pass, spec *balanceSpec) error {
+	if pkgMatches(pass.Pkg.Path(), spec.exemptPkgs) {
+		return nil
+	}
+	funcBodies(pass.Files, func(name string, body *ast.BlockStmt) {
+		newBalFunc(pass, spec).analyze(body)
+	})
+	return nil
+}
+
+type balFunc struct {
+	pass       *analysis.Pass
+	spec       *balanceSpec
+	acquirePos map[*types.Var]token.Pos
+	errFor     map[*types.Var]*types.Var // tracked var -> paired err var
+	reported   map[token.Pos]bool
+}
+
+func newBalFunc(pass *analysis.Pass, spec *balanceSpec) *balFunc {
+	return &balFunc{
+		pass:       pass,
+		spec:       spec,
+		acquirePos: make(map[*types.Var]token.Pos),
+		errFor:     make(map[*types.Var]*types.Var),
+		reported:   make(map[token.Pos]bool),
+	}
+}
+
+func (r *balFunc) reportOnce(pos token.Pos, format string, args ...any) {
+	if !r.reported[pos] {
+		r.reported[pos] = true
+		r.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (r *balFunc) analyze(body *ast.BlockStmt) {
+	if usesGoto(body) {
+		return // irreducible flow: out of scope, and absent from this repo
+	}
+	env, terminated := r.stmt(make(refEnv), body)
+	if !terminated {
+		r.checkLeaks(env)
+	}
+}
+
+// checkLeaks reports every variable that may still owe a settling call.
+func (r *balFunc) checkLeaks(env refEnv) {
+	for v, mask := range env {
+		if mask&stPinned != 0 {
+			r.reportOnce(r.acquirePos[v], r.spec.msgLeak, v.Name())
+		}
+	}
+}
+
+// stmt interprets s in env, returning the resulting env and whether
+// every path through s terminates the function.
+func (r *balFunc) stmt(env refEnv, s ast.Stmt) (refEnv, bool) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt, *ast.BranchStmt, *ast.IncDecStmt:
+		return env, false
+
+	case *ast.BlockStmt:
+		terminated := false
+		for _, st := range s.List {
+			env, terminated = r.stmt(env, st)
+			if terminated {
+				return env, true
+			}
+		}
+		return env, false
+
+	case *ast.ExprStmt:
+		return r.exprStmt(env, s.X), false
+
+	case *ast.AssignStmt:
+		return r.assign(env, s), false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					env = r.valueSpec(env, vs)
+				}
+			}
+		}
+		return env, false
+
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if v := r.trackedIdent(env, res); v != nil {
+				env[v] = stUnknown // obligation transfers to the caller
+			} else {
+				env = r.escapes(env, res)
+			}
+		}
+		r.checkLeaks(env)
+		return env, true
+
+	case *ast.DeferStmt:
+		return r.deferStmt(env, s), false
+
+	case *ast.GoStmt:
+		return r.escapes(env, s.Call), false
+
+	case *ast.SendStmt:
+		env = r.escapes(env, s.Chan)
+		return r.escapes(env, s.Value), false
+
+	case *ast.IfStmt:
+		env, _ = r.stmt(env, s.Init)
+		env = r.escapes(env, s.Cond)
+		thenEnv := r.refine(env.clone(), s.Cond, true)
+		elseEnv := r.refine(env.clone(), s.Cond, false)
+		thenEnv, thenTerm := r.stmt(thenEnv, s.Body)
+		elseEnv, elseTerm := r.stmt(elseEnv, s.Else)
+		switch {
+		case thenTerm && elseTerm:
+			return env, true
+		case thenTerm:
+			return elseEnv, false
+		case elseTerm:
+			return thenEnv, false
+		default:
+			return mergeEnv(thenEnv, elseEnv), false
+		}
+
+	case *ast.ForStmt:
+		env, _ = r.stmt(env, s.Init)
+		env = r.escapes(env, s.Cond)
+		return r.loop(env, func(e refEnv) refEnv {
+			e, term := r.stmt(e, s.Body)
+			if !term {
+				e, _ = r.stmt(e, s.Post)
+			}
+			return e
+		}), false
+
+	case *ast.RangeStmt:
+		env = r.escapes(env, s.X)
+		return r.loop(env, func(e refEnv) refEnv {
+			e, _ = r.stmt(e, s.Body)
+			return e
+		}), false
+
+	case *ast.SwitchStmt:
+		env, _ = r.stmt(env, s.Init)
+		env = r.escapes(env, s.Tag)
+		return r.branches(env, caseBodies(s.Body), hasDefault(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		env, _ = r.stmt(env, s.Init)
+		env, _ = r.stmt(env, s.Assign)
+		return r.branches(env, caseBodies(s.Body), hasDefault(s.Body))
+
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				env, _ = r.stmt(env, cc.Comm)
+			}
+			bodies = append(bodies, cc.Body)
+		}
+		// A select always takes one of its clauses (a blocking select
+		// waits; a default clause is itself in bodies), so unlike a
+		// switch there is no fall-past path keeping the entry env —
+		// `sp := Start(...); select { case ...: sp.End() }` is balanced.
+		return r.branches(env, bodies, true)
+
+	case *ast.LabeledStmt:
+		return r.stmt(env, s.Stmt)
+
+	default:
+		return r.escapesInStmt(env, s), false
+	}
+}
+
+// loop runs body twice from progressively merged states — enough to
+// reach fixpoint for this lattice — and merges with the zero-iteration
+// path.
+func (r *balFunc) loop(entry refEnv, body func(refEnv) refEnv) refEnv {
+	once := body(entry.clone())
+	twice := body(mergeEnv(entry, once))
+	return mergeEnv(entry, twice)
+}
+
+// branches merges the case bodies of a switch/select; without a default
+// the fall-past path keeps the entry env.
+func (r *balFunc) branches(env refEnv, bodies [][]ast.Stmt, hasDefault bool) (refEnv, bool) {
+	merged := refEnv(nil)
+	allTerm := len(bodies) > 0
+	for _, b := range bodies {
+		be, term := r.stmt(env.clone(), &ast.BlockStmt{List: b})
+		if term {
+			continue
+		}
+		allTerm = false
+		if merged == nil {
+			merged = be
+		} else {
+			merged = mergeEnv(merged, be)
+		}
+	}
+	if !hasDefault {
+		allTerm = false
+		if merged == nil {
+			merged = env
+		} else {
+			merged = mergeEnv(merged, env)
+		}
+	}
+	if allTerm {
+		return env, true
+	}
+	if merged == nil {
+		merged = env
+	}
+	return merged, false
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// exprStmt handles a bare expression statement: a settling call, a
+// discarded acquisition, or an ordinary call whose arguments may
+// capture tracked values.
+func (r *balFunc) exprStmt(env refEnv, e ast.Expr) refEnv {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return r.escapes(env, e)
+	}
+	if v := r.releaseCall(env, call); v != nil {
+		return r.doRelease(env, v, call.Pos())
+	}
+	if r.acquireIndex(call) >= 0 {
+		r.reportOnce(call.Pos(), "%s", r.spec.msgDiscard)
+		return env
+	}
+	return r.escapes(env, call)
+}
+
+func (r *balFunc) assign(env refEnv, s *ast.AssignStmt) refEnv {
+	// Acquisition: x, err := acquire(...), x := acquire(...), or — with
+	// the target at a later tuple position — ctx, sp := acquire(...).
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if ri := r.acquireIndex(call); ri >= 0 && ri < len(s.Lhs) {
+				env = r.escapes(env, call) // args first (e.g. a tracked value passed in)
+				switch lhs := s.Lhs[ri].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						r.reportOnce(call.Pos(), "%s", r.spec.msgDiscard)
+						return env
+					}
+					v, ok := objectOfIdent(r.pass, lhs).(*types.Var)
+					if !ok {
+						return env
+					}
+					if env[v]&stPinned != 0 {
+						r.reportOnce(r.acquirePos[v], r.spec.msgReassign, v.Name())
+					}
+					env[v] = stPinned
+					r.acquirePos[v] = call.Pos()
+					for j, other := range s.Lhs {
+						if j == ri {
+							continue
+						}
+						if errID, ok := other.(*ast.Ident); ok && errID.Name != "_" {
+							if ev, ok := objectOfIdent(r.pass, errID).(*types.Var); ok && implementsError(ev.Type()) {
+								r.errFor[v] = ev
+							}
+						}
+					}
+					return env
+				default:
+					// Acquired straight into a field/element: escapes immediately.
+					return env
+				}
+			}
+		}
+	}
+	// General assignment: escaping stores, aliasing, overwrites.
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		if rhs != nil {
+			if v := r.trackedIdent(env, rhs); v != nil {
+				env[v] = stUnknown // aliased or stored: stop tracking
+			} else {
+				env = r.escapes(env, rhs)
+			}
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if v, ok := objectOfIdent(r.pass, id).(*types.Var); ok {
+				if env[v]&stPinned != 0 {
+					r.reportOnce(r.acquirePos[v], r.spec.msgReassign, v.Name())
+				}
+				if _, tracked := env[v]; tracked {
+					env[v] = stUnknown
+				}
+			}
+		} else {
+			env = r.escapes(env, lhs)
+		}
+	}
+	return env
+}
+
+func (r *balFunc) valueSpec(env refEnv, vs *ast.ValueSpec) refEnv {
+	if len(vs.Values) == 1 {
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			if ri := r.acquireIndex(call); ri >= 0 && ri < len(vs.Names) {
+				if v, ok := r.pass.TypesInfo.Defs[vs.Names[ri]].(*types.Var); ok {
+					env[v] = stPinned
+					r.acquirePos[v] = call.Pos()
+				}
+				return env
+			}
+		}
+	}
+	for _, val := range vs.Values {
+		env = r.escapes(env, val)
+	}
+	return env
+}
+
+func (r *balFunc) deferStmt(env refEnv, s *ast.DeferStmt) refEnv {
+	if v := r.releaseCall(env, s.Call); v != nil {
+		if env[v]&(stDeferred|stReleased) != 0 {
+			r.reportOnce(s.Call.Pos(), r.spec.msgDouble, v.Name())
+		}
+		env[v] = env[v]&^stPinned | stDeferred
+		return env
+	}
+	// defer func() { ... x.<Release>() ... }(): settling calls inside
+	// the deferred literal settle obligations; other captured values
+	// escape.
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok && len(s.Call.Args) == 0 {
+		released := make(map[*types.Var]bool)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if v := r.releaseCall(env, call); v != nil {
+					released[v] = true
+					return false
+				}
+			}
+			return true
+		})
+		for v := range released {
+			env[v] = env[v]&^stPinned | stDeferred
+		}
+		// Escape scan of the rest of the literal, skipping the releases.
+		env = r.escapesSkippingReleases(env, lit.Body, released)
+		return env
+	}
+	return r.escapes(env, s.Call)
+}
+
+// doRelease transitions v through an immediate settling call.
+func (r *balFunc) doRelease(env refEnv, v *types.Var, pos token.Pos) refEnv {
+	mask := env[v]
+	if mask&(stReleased|stDeferred) != 0 {
+		r.reportOnce(pos, r.spec.msgDouble, v.Name())
+	}
+	if mask&stPinned != 0 || mask&(stReleased|stDeferred) != 0 {
+		env[v] = stReleased
+	}
+	return env
+}
+
+// releaseCall returns the tracked variable x when call is
+// x.<releaseName>().
+func (r *balFunc) releaseCall(env refEnv, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != r.spec.releaseName {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := r.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := env[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// acquireIndex returns the position of the tracked type in call's
+// result tuple (0 for a single-value result), or -1 when the call does
+// not acquire.
+func (r *balFunc) acquireIndex(call *ast.CallExpr) int {
+	t := r.pass.TypeOf(call)
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if r.spec.isTarget(tuple.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	}
+	if r.spec.isTarget(t) {
+		return 0
+	}
+	return -1
+}
+
+// trackedIdent returns the tracked variable e denotes, or nil.
+func (r *balFunc) trackedIdent(env refEnv, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := r.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := env[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// escapes scans an expression tree: a tracked variable used anywhere
+// except as a method receiver or in a pointer comparison loses
+// tracking (its obligation moved somewhere this checker cannot see).
+// Function literals are analyzed as functions of their own.
+func (r *balFunc) escapes(env refEnv, n ast.Node) refEnv {
+	return r.escapesSkippingReleases(env, n, nil)
+}
+
+func (r *balFunc) escapesSkippingReleases(env refEnv, n ast.Node, skipRelease map[*types.Var]bool) refEnv {
+	if n == nil || len(env) == 0 {
+		return env
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			for v := range env {
+				if capturedIn(r.pass, node, v) && !skipRelease[v] {
+					env[v] = stUnknown
+				}
+			}
+			newBalFunc(r.pass, r.spec).analyze(node.Body)
+			return false
+		case *ast.SelectorExpr:
+			// x.Method() / x.field: reading through the variable does not
+			// move the obligation.
+			if id, ok := ast.Unparen(node.X).(*ast.Ident); ok {
+				if _, tracked := env[identVar(r.pass, id)]; tracked {
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.EQL || node.Op == token.NEQ {
+				return false // pointer comparison, typically against nil
+			}
+		case *ast.Ident:
+			if v := identVar(r.pass, node); v != nil && !skipRelease[v] {
+				if _, tracked := env[v]; tracked {
+					env[v] = stUnknown
+				}
+			}
+		}
+		return true
+	})
+	return env
+}
+
+// escapesInStmt applies the escape scan to every expression hanging off
+// an unhandled statement kind.
+func (r *balFunc) escapesInStmt(env refEnv, s ast.Stmt) refEnv {
+	return r.escapes(env, s)
+}
+
+// refine narrows env under the branch condition: after
+// `x, err := acquire(...)`, x is nil (nothing owed) wherever err != nil.
+func (r *balFunc) refine(env refEnv, cond ast.Expr, branch bool) refEnv {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return env
+	}
+	var errExpr ast.Expr
+	switch {
+	case isNilIdent(be.Y):
+		errExpr = be.X
+	case isNilIdent(be.X):
+		errExpr = be.Y
+	default:
+		return env
+	}
+	id, ok := ast.Unparen(errExpr).(*ast.Ident)
+	if !ok {
+		return env
+	}
+	ev := identVar(r.pass, id)
+	if ev == nil {
+		return env
+	}
+	// errIsNonNil in the branch we are entering?
+	errNonNil := (be.Op == token.NEQ) == branch
+	if !errNonNil {
+		return env
+	}
+	for trackedVar, pairedErr := range r.errFor {
+		if pairedErr == ev {
+			if _, tracked := env[trackedVar]; tracked {
+				env[trackedVar] = stUnknown
+			}
+		}
+	}
+	return env
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func identVar(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// capturedIn reports whether the function literal references v.
+func capturedIn(pass *analysis.Pass, lit *ast.FuncLit, v *types.Var) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesGoto reports whether the body contains goto or a labeled
+// break/continue — control flow this interpreter does not model.
+func usesGoto(body *ast.BlockStmt) bool {
+	uses := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && (b.Tok == token.GOTO || b.Label != nil) {
+			uses = true
+		}
+		return !uses
+	})
+	return uses
+}

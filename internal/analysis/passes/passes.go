@@ -4,6 +4,7 @@
 // previously maintained by hand (see DESIGN.md, "Static analysis"):
 //
 //	refbalance   — pinned blockcache buffers are released on every path
+//	spanbalance  — spans from obs.Start are ended on every path
 //	ctxguard     — request paths thread ctx; no context.Background there
 //	errwrapclass — error chains that drive classification survive wrapping
 //	poolescape   — pooled buffers never escape their owner
@@ -16,6 +17,7 @@ import "gompresso/internal/analysis"
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Refbalance,
+		Spanbalance,
 		Ctxguard,
 		Errwrapclass,
 		Poolescape,

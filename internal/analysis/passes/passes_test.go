@@ -28,10 +28,14 @@ func TestRefbalance(t *testing.T) {
 	analysistest.Run(t, "testdata", passes.Refbalance, "refbalance/a")
 }
 
+func TestSpanbalance(t *testing.T) {
+	analysistest.Run(t, "testdata", passes.Spanbalance, "spanbalance/a")
+}
+
 func TestAllRegistered(t *testing.T) {
 	all := passes.All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All() returned %d analyzers, want 6", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

@@ -1,0 +1,54 @@
+package passes
+
+import (
+	"go/types"
+
+	"gompresso/internal/analysis"
+)
+
+// Spanbalance checks that every span from obs.Start is ended on every
+// control-flow path. An un-Ended span never reports its duration to the
+// per-stage histograms — the stage silently under-counts — and it holds
+// a slot in the request's fixed span table until the trace is recycled,
+// so a leak on a hot path starves later spans into the dropped counter.
+// Ending twice double-observes the duration into the histogram, skewing
+// the percentiles the SLO checks read.
+//
+// The analysis is the shared acquire/release interpreter in balance.go
+// instantiated for the Span↔End discipline. obs.Start returns
+// (context.Context, *Span) — the interpreter tracks the *Span result at
+// whatever tuple position it appears. The obs package itself is exempt:
+// it manipulates span lifecycles directly and is covered by its own
+// tests.
+var Spanbalance = &analysis.Analyzer{
+	Name: "spanbalance",
+	Doc: "spans from obs.Start must be ended on every control-flow path\n\n" +
+		"A leaked span under-counts its stage and starves the request's span table;\n" +
+		"a double End double-observes the duration.",
+	Run: func(pass *analysis.Pass) error { return runBalance(pass, spanbalanceSpec) },
+}
+
+var spanbalanceSpec = &balanceSpec{
+	exemptPkgs:  []string{"obs"},
+	releaseName: "End",
+	isTarget:    isSpanPtr,
+	msgLeak:     "span %s from obs.Start is not ended on every path (missing End or defer)",
+	msgDiscard:  "span from obs.Start discarded; it can never be ended",
+	msgReassign: "span %s reassigned while still owing an End",
+	msgDouble:   "span %s may already be ended here (double End)",
+}
+
+// isSpanPtr reports whether t is *obs.Span (matched by package path
+// suffix so the analysistest fixture package qualifies too).
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil && pkgMatches(obj.Pkg().Path(), []string{"obs"})
+}

@@ -1,0 +1,117 @@
+// Fixture for spanbalance.
+package a
+
+import (
+	"context"
+
+	"spanbalance/obs"
+)
+
+func work() {}
+
+func leakOnBranch(ctx context.Context, cond bool) error {
+	_, sp := obs.Start(ctx, obs.StageResolve) // want `not ended on every path`
+	if cond {
+		return nil // leaks sp
+	}
+	sp.End()
+	return nil
+}
+
+func leakNoEnd(ctx context.Context) {
+	_, sp := obs.Start(ctx, obs.StageResolve) // want `not ended on every path`
+	sp.SetN(3)
+	work()
+}
+
+func balancedDefer(ctx context.Context) {
+	ctx, sp := obs.Start(ctx, obs.StageResolve)
+	defer sp.End()
+	_ = ctx
+	work()
+}
+
+func balancedDeferredClosure(ctx context.Context) {
+	_, sp := obs.Start(ctx, obs.StageResolve)
+	defer func() { sp.End() }()
+	work()
+}
+
+func balancedBranches(ctx context.Context, cond bool) {
+	_, sp := obs.Start(ctx, obs.StageResolve)
+	if cond {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+// balancedSelect is the serving path's queue_wait shape: a blocking
+// select always takes one of its clauses, and each clause ends the
+// span, so nothing leaks past the select.
+func balancedSelect(ctx context.Context, acquired, done chan struct{}) error {
+	_, sp := obs.Start(ctx, obs.StageQueueWait)
+	select {
+	case <-acquired:
+		sp.End()
+	case <-done:
+		sp.End()
+		return ctx.Err()
+	}
+	work()
+	return nil
+}
+
+func doubleEnd(ctx context.Context) {
+	_, sp := obs.Start(ctx, obs.StageResolve)
+	sp.End()
+	sp.End() // want `may already be ended here`
+}
+
+func deferredThenEnded(ctx context.Context) {
+	_, sp := obs.Start(ctx, obs.StageResolve)
+	defer sp.End()
+	sp.End() // want `may already be ended here`
+}
+
+func discardedBare(ctx context.Context) {
+	obs.Start(ctx, obs.StageResolve) // want `discarded; it can never be ended`
+}
+
+func discardedBlank(ctx context.Context) context.Context {
+	ctx, _ = obs.Start(ctx, obs.StageResolve) // want `discarded; it can never be ended`
+	return ctx
+}
+
+func reassigned(ctx context.Context) {
+	_, sp := obs.Start(ctx, obs.StageResolve) // want `reassigned while still owing an End`
+	_, sp = obs.Start(ctx, obs.StageQueueWait)
+	sp.End()
+}
+
+// transfer hands the open span to the caller: the obligation moves with
+// it, so nothing is reported here.
+func transfer(ctx context.Context) (context.Context, *obs.Span) {
+	ctx, sp := obs.Start(ctx, obs.StageResolve)
+	return ctx, sp // ok: caller now owes the End
+}
+
+func lend(sp *obs.Span) {}
+
+func passedDown(ctx context.Context) {
+	_, sp := obs.Start(ctx, obs.StageResolve)
+	lend(sp) // ok: callee takes responsibility; tracking stops
+}
+
+func loopBalanced(ctx context.Context) {
+	for i := 0; i < 4; i++ {
+		_, sp := obs.Start(ctx, obs.StageResolve)
+		sp.End()
+	}
+}
+
+func allowedLeak(ctx context.Context) {
+	//lint:allow spanbalance fixture: span deliberately left to the trace recycler
+	_, sp := obs.Start(ctx, obs.StageResolve)
+	sp.SetN(1)
+}

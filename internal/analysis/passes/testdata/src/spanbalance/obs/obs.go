@@ -1,0 +1,21 @@
+// Package obs is a fixture stand-in for gompresso/internal/obs: just
+// enough surface for spanbalance to resolve Start and Span.End.
+package obs
+
+import "context"
+
+type Stage int
+
+const (
+	StageResolve Stage = iota
+	StageQueueWait
+)
+
+type Span struct{ ended bool }
+
+func (s *Span) End()       { s.ended = true }
+func (s *Span) SetN(int64) {}
+
+func Start(ctx context.Context, st Stage) (context.Context, *Span) {
+	return ctx, &Span{}
+}

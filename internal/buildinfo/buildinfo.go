@@ -1,0 +1,74 @@
+// Package buildinfo reads the binary's identity from the build metadata
+// stamped by the Go toolchain (runtime/debug.ReadBuildInfo) — module
+// version, toolchain, VCS revision — so the CLI's `version` output and
+// the server's build_info metric agree without any ldflags plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the binary's build identity. Fields are never empty: unknown
+// values degrade to "devel"/"unknown" so metric labels stay well-formed.
+type Info struct {
+	// Version is the main module version ("devel" for untagged builds).
+	Version string
+	// GoVersion is the toolchain that built the binary, e.g. "go1.24.0".
+	GoVersion string
+	// Revision is the 12-char VCS revision with a "+dirty" suffix when
+	// the tree was modified, or "" when no VCS stamp is present.
+	Revision string
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get returns the process's build identity (computed once).
+func Get() Info {
+	once.Do(func() {
+		info = Info{Version: "devel", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			info.Version = v
+		}
+		if bi.GoVersion != "" {
+			info.GoVersion = bi.GoVersion
+		}
+		rev, dirty := "", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			info.Revision = rev + dirty
+		}
+	})
+	return info
+}
+
+// String renders the identity for `gompresso version`:
+// "gompresso devel (go1.24.0) rev abcdef123456+dirty".
+func (i Info) String() string {
+	out := fmt.Sprintf("gompresso %s (%s)", i.Version, i.GoVersion)
+	if i.Revision != "" {
+		out += " rev " + i.Revision
+	}
+	return out
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -110,6 +111,78 @@ type Report struct {
 	Seed     uint64        `json:"seed"`
 	Overall  PhaseReport   `json:"overall"`
 	Phases   []PhaseReport `json:"phases"`
+	// Slowest holds the top requests by open-loop latency, worst first.
+	// IDs come from the server's X-Request-Id response header, so a slow
+	// entry here can be joined against the server's /debug/requests dump
+	// and its access log — that join is how a tail spike is attributed
+	// to a stage rather than argued about.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// SlowRequest is one entry in Report.Slowest.
+type SlowRequest struct {
+	ID      string `json:"id,omitempty"` // server-assigned request id ("" if tracing is off)
+	Object  string `json:"object"`
+	Range   string `json:"range,omitempty"`
+	Phase   string `json:"phase"`
+	Outcome string `json:"outcome"`
+	// LatencyMs is the open-loop latency (from intended arrival);
+	// ServiceMs is from the actual send.
+	LatencyMs float64 `json:"latency_ms"`
+	ServiceMs float64 `json:"service_ms"`
+	// StageUs is the server-side per-stage breakdown, merged in from
+	// /debug/requests by the CLI when the ids can be joined; nil when
+	// the server no longer remembers the request.
+	StageUs map[string]int64 `json:"stage_us,omitempty"`
+}
+
+// SlowestSize is how many requests Run keeps in Report.Slowest.
+const SlowestSize = 10
+
+// slowTracker keeps the top-K requests by open-loop latency.
+type slowTracker struct {
+	mu      sync.Mutex
+	entries []SlowRequest
+}
+
+func (s *slowTracker) add(e SlowRequest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) < SlowestSize {
+		s.entries = append(s.entries, e)
+		return
+	}
+	min := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].LatencyMs < s.entries[min].LatencyMs {
+			min = i
+		}
+	}
+	if e.LatencyMs > s.entries[min].LatencyMs {
+		s.entries[min] = e
+	}
+}
+
+// snapshot returns the tracked entries sorted worst-first.
+func (s *slowTracker) snapshot() []SlowRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]SlowRequest(nil), s.entries...)
+	sort.Slice(out, func(i, j int) bool { return out[i].LatencyMs > out[j].LatencyMs })
+	return out
+}
+
+func outcomeName(o int) string {
+	switch o {
+	case outcomeOK:
+		return "ok"
+	case outcomeShed:
+		return "shed"
+	case outcomeTimeout:
+		return "timeout"
+	default:
+		return "error"
+	}
 }
 
 // phaseStats accumulates one phase while the run is live.
@@ -221,6 +294,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	var phases [3]phaseStats
 	var overall phaseStats
+	var slow slowTracker
 	dur := cfg.Duration.Seconds()
 	phaseLen := dur / 3
 
@@ -252,7 +326,7 @@ dispatch:
 		intended := start.Add(time.Duration(req.At * float64(time.Second)))
 		one := func(req Request, phase int, intended time.Time) {
 			sent := time.Now()
-			outcome, n := issue(ctx, client, base, cfg.Objects[req.Obj], req, cfg.Deadline)
+			outcome, n, id := issue(ctx, client, base, cfg.Objects[req.Obj], req, cfg.Deadline)
 			done := time.Now()
 			// The headline latency clock starts at the intended arrival,
 			// not the actual send: dispatch lag is server-visible
@@ -262,6 +336,18 @@ dispatch:
 			svc := done.Sub(sent)
 			phases[phase].record(outcome, lat, svc, n)
 			overall.record(outcome, lat, svc, n)
+			sr := SlowRequest{
+				ID:        id,
+				Object:    cfg.Objects[req.Obj].Name,
+				Phase:     PhaseNames[phase],
+				Outcome:   outcomeName(outcome),
+				LatencyMs: ms(lat),
+				ServiceMs: ms(svc),
+			}
+			if req.Len >= 0 {
+				sr.Range = fmt.Sprintf("bytes=%d-%d", req.Off, req.Off+req.Len-1)
+			}
+			slow.add(sr)
 		}
 		if cfg.Closed {
 			one(req, phase, intended)
@@ -284,6 +370,7 @@ dispatch:
 		Objects:  len(cfg.Objects),
 		Seed:     cfg.Seed,
 		Overall:  overall.report("overall", wall),
+		Slowest:  slow.snapshot(),
 	}
 	for i := range phases {
 		w := time.Duration(phaseLen * float64(time.Second))
@@ -296,8 +383,9 @@ dispatch:
 }
 
 // issue sends one scheduled request and classifies the outcome,
-// returning the body byte count.
-func issue(ctx context.Context, client *http.Client, base string, obj Object, req Request, deadline time.Duration) (int, int64) {
+// returning the body byte count and the server-assigned request id
+// (X-Request-Id; "" before a response arrives or with tracing off).
+func issue(ctx context.Context, client *http.Client, base string, obj Object, req Request, deadline time.Duration) (int, int64, string) {
 	if deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, deadline)
@@ -305,7 +393,7 @@ func issue(ctx context.Context, client *http.Client, base string, obj Object, re
 	}
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/"+obj.Name, nil)
 	if err != nil {
-		return outcomeError, 0
+		return outcomeError, 0, ""
 	}
 	wantStatus := http.StatusOK
 	wantLen := obj.Size
@@ -317,24 +405,25 @@ func issue(ctx context.Context, client *http.Client, base string, obj Object, re
 	resp, err := client.Do(hr)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			return outcomeTimeout, 0
+			return outcomeTimeout, 0, ""
 		}
-		return outcomeError, 0
+		return outcomeError, 0, ""
 	}
 	defer resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
 	n, err := io.Copy(io.Discard, resp.Body)
 	switch {
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		return outcomeShed, n
+		return outcomeShed, n, id
 	case err != nil:
 		if errors.Is(err, context.DeadlineExceeded) {
-			return outcomeTimeout, n
+			return outcomeTimeout, n, id
 		}
-		return outcomeError, n
+		return outcomeError, n, id
 	case resp.StatusCode != wantStatus || n != wantLen:
-		return outcomeError, n
+		return outcomeError, n, id
 	}
-	return outcomeOK, n
+	return outcomeOK, n, id
 }
 
 // Text renders the report for humans, one aligned row per phase.
@@ -353,5 +442,34 @@ func (r *Report) Text() string {
 	}
 	fmt.Fprintf(&b, "error_rate %.4f  shed_rate %.4f  bytes %d\n",
 		r.Overall.ErrorRate, r.Overall.ShedRate, r.Overall.Bytes)
+	if len(r.Slowest) > 0 {
+		fmt.Fprintf(&b, "slowest requests (open-loop):\n")
+		fmt.Fprintf(&b, "  %-24s %-8s %-8s %10s %10s  %s\n",
+			"id", "phase", "outcome", "latms", "svcms", "object")
+		for _, s := range r.Slowest {
+			id := s.ID
+			if id == "" {
+				id = "-"
+			}
+			obj := s.Object
+			if s.Range != "" {
+				obj += " " + s.Range
+			}
+			fmt.Fprintf(&b, "  %-24s %-8s %-8s %10.2f %10.2f  %s\n",
+				id, s.Phase, s.Outcome, s.LatencyMs, s.ServiceMs, obj)
+			if len(s.StageUs) > 0 {
+				keys := make([]string, 0, len(s.StageUs))
+				for k := range s.StageUs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				b.WriteString("    stages:")
+				for _, k := range keys {
+					fmt.Fprintf(&b, " %s=%dus", strings.TrimSuffix(k, "_us"), s.StageUs[k])
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
 	return b.String()
 }

@@ -174,10 +174,14 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return h
 }
 
-// metric is one registered name with its sampler.
+// metric is one registered name with its sampler. labels, when
+// non-empty, is the pre-rendered `{k="v",...}` suffix for the text
+// exposition (only Info metrics carry labels; the JSON rendering keys
+// on the bare name).
 type metric struct {
 	name   string
 	help   string
+	labels string
 	sample func() float64
 }
 
@@ -198,14 +202,18 @@ func NewRegistry() *Registry {
 
 // register adds (or replaces) a sampler under name.
 func (r *Registry) register(name, help string, sample func() float64) {
+	r.registerLabeled(name, help, "", sample)
+}
+
+func (r *Registry) registerLabeled(name, help, labels string, sample func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if i, ok := r.byName[name]; ok {
-		r.metrics[i] = metric{name, help, sample}
+		r.metrics[i] = metric{name, help, labels, sample}
 		return
 	}
 	r.byName[name] = len(r.metrics)
-	r.metrics = append(r.metrics, metric{name, help, sample})
+	r.metrics = append(r.metrics, metric{name, help, labels, sample})
 }
 
 // Counter registers and returns a counter under name.
@@ -226,6 +234,38 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // for values owned elsewhere (cache residency, hit rate).
 func (r *Registry) Func(name, help string, sample func() float64) {
 	r.register(name, help, sample)
+}
+
+// Info registers a constant-1 gauge whose information lives in its
+// labels (the Prometheus build_info idiom). Labels render in the text
+// exposition as `name{k="v",...} 1`, in given order; the JSON rendering
+// keeps the bare name. Label values are escaped per the text format.
+func (r *Registry) Info(name, help string, labels ...[2]string) {
+	var b []byte
+	for i, kv := range labels {
+		if i == 0 {
+			b = append(b, '{')
+		} else {
+			b = append(b, ',')
+		}
+		b = append(b, kv[0]...)
+		b = append(b, '=', '"')
+		for _, c := range []byte(kv[1]) {
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			default:
+				b = append(b, c)
+			}
+		}
+		b = append(b, '"')
+	}
+	if len(b) > 0 {
+		b = append(b, '}')
+	}
+	r.registerLabeled(name, help, string(b), func() float64 { return 1 })
 }
 
 // Snapshot samples every metric once, in registration order.
@@ -256,7 +296,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.sample())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatValue(m.sample())); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,61 @@
+package perf
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats per scrape window so the
+// several Go-runtime metrics below cost one stats read per second, not
+// one stop-the-world read each.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (s *memSampler) get() *runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.at) > time.Second {
+		runtime.ReadMemStats(&s.stat)
+		s.at = time.Now()
+	}
+	return &s.stat
+}
+
+// RegisterRuntime adds Go-runtime health metrics — goroutine count,
+// heap residency, GC activity, process start time — to the registry.
+func RegisterRuntime(r *Registry) {
+	start := time.Now()
+	ms := &memSampler{}
+	r.Func("go_goroutines", "goroutines running now", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.Func("go_heap_alloc_bytes", "heap bytes allocated and in use", func() float64 {
+		return float64(ms.get().HeapAlloc)
+	})
+	r.Func("go_heap_sys_bytes", "heap bytes obtained from the OS", func() float64 {
+		return float64(ms.get().HeapSys)
+	})
+	r.Func("go_gc_cycles_total", "completed GC cycles", func() float64 {
+		return float64(ms.get().NumGC)
+	})
+	r.Func("go_gc_pause_ns_total", "cumulative stop-the-world GC pause, nanoseconds", func() float64 {
+		return float64(ms.get().PauseTotalNs)
+	})
+	r.Func("go_gc_last_pause_ns", "most recent stop-the-world GC pause, nanoseconds", func() float64 {
+		s := ms.get()
+		if s.NumGC == 0 {
+			return 0
+		}
+		return float64(s.PauseNs[(s.NumGC+255)%256])
+	})
+	r.Func("process_start_time_seconds", "process start, seconds since the epoch", func() float64 {
+		return float64(start.Unix())
+	})
+	r.Func("process_uptime_seconds", "seconds since process start", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

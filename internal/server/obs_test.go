@@ -1,0 +1,361 @@
+package server
+
+// Observability tests: request tracing end to end (PR 10), the JSON
+// access log, /debug/requests, and the /metrics text exposition's
+// parser-roundtrip + pinned family names.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"gompresso/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe access-log sink: the handler writes
+// from request goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRequestTracing(t *testing.T) {
+	fx := newFixture(t)
+	var accessLog syncBuffer
+	_, ts := startServer(t, Options{Root: fx.root, CacheBytes: 8 << 20, AccessLog: &accessLog})
+
+	// A ranged request on the indexed container: served via WriteRangeTo,
+	// so the trace must show resolve, queue_wait, cache_lookup,
+	// block_decode, and body_write activity.
+	resp := get(t, ts.URL+"/corpus.txt.gpz", map[string]string{"Range": "bytes=100000-200000"})
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+	if got := body(t, resp); !bytes.Equal(got, fx.src[100000:200001]) {
+		t.Fatalf("range body mismatch (%d bytes)", len(got))
+	}
+
+	// The dump must contain the request, attributed to its stages.
+	resp = get(t, ts.URL+"/debug/requests?n=5", nil)
+	var dump struct {
+		Requests []obs.DumpEntry `json:"requests"`
+	}
+	if err := json.Unmarshal(body(t, resp), &dump); err != nil {
+		t.Fatal(err)
+	}
+	var entry *obs.DumpEntry
+	for i := range dump.Requests {
+		if dump.Requests[i].ID == id {
+			entry = &dump.Requests[i]
+		}
+	}
+	if entry == nil {
+		t.Fatalf("request %s not in /debug/requests dump", id)
+	}
+	if entry.Status != http.StatusPartialContent || entry.Bytes != 100001 {
+		t.Fatalf("dump entry: status %d bytes %d", entry.Status, entry.Bytes)
+	}
+	if entry.Range != "bytes=100000-200000" {
+		t.Fatalf("dump range = %q", entry.Range)
+	}
+	for _, stage := range []string{"resolve_us", "queue_wait_us", "cache_lookup_us", "body_write_us"} {
+		if _, ok := entry.Stages[stage]; !ok {
+			t.Errorf("dump missing stage %s: %v", stage, entry.Stages)
+		}
+	}
+	// All blocks were cold: every cache_lookup is a miss with a
+	// block_decode child span.
+	if entry.CacheMisses == 0 {
+		t.Errorf("cold request shows no cache misses: %+v", entry)
+	}
+	var lookups, decodes int
+	for _, sp := range entry.Spans {
+		switch sp.Stage {
+		case "cache_lookup":
+			lookups++
+			if sp.Parent != -1 {
+				t.Errorf("cache_lookup span should be request-level, parent=%d", sp.Parent)
+			}
+		case "block_decode":
+			decodes++
+			if sp.Parent < 0 || entry.Spans[sp.Parent].Stage != "cache_lookup" {
+				t.Errorf("block_decode span not nested under cache_lookup")
+			}
+		}
+	}
+	if lookups == 0 || decodes == 0 {
+		t.Fatalf("spans missing: %d cache_lookup, %d block_decode", lookups, decodes)
+	}
+
+	// A repeat of the same range must be all hits.
+	resp = get(t, ts.URL+"/corpus.txt.gpz", map[string]string{"Range": "bytes=100000-200000"})
+	id2 := resp.Header.Get("X-Request-Id")
+	body(t, resp)
+	resp = get(t, ts.URL+"/debug/requests?n=10", nil)
+	if err := json.Unmarshal(body(t, resp), &dump); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dump.Requests {
+		if dump.Requests[i].ID == id2 {
+			if dump.Requests[i].CacheMisses != 0 || dump.Requests[i].CacheHits == 0 {
+				t.Errorf("warm request: hits %d misses %d",
+					dump.Requests[i].CacheHits, dump.Requests[i].CacheMisses)
+			}
+		}
+	}
+
+	// Access log: every line valid JSON with the required keys; the two
+	// object requests present by id.
+	found := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(accessLog.String()))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("access log line not JSON: %v\n%s", err, sc.Text())
+		}
+		for _, k := range []string{"id", "method", "path", "status", "bytes", "dur_ms", "cache_hits", "cache_misses", "stages"} {
+			if _, ok := rec[k]; !ok {
+				t.Errorf("access log line missing %q: %s", k, sc.Text())
+			}
+		}
+		found[rec["id"].(string)] = true
+	}
+	if !found[id] || !found[id2] {
+		t.Errorf("access log missing request ids %s/%s: %v", id, id2, found)
+	}
+}
+
+func TestAccessLogWarnsOn5xx(t *testing.T) {
+	fx := newFixture(t)
+	var accessLog syncBuffer
+	_, ts := startServer(t, Options{Root: fx.root, AccessLog: &accessLog})
+
+	// Corrupt the indexed container mid-payload: the decode fails, the
+	// object quarantines, and both the failing request and the
+	// quarantine fast-path 502 must produce WARN access lines.
+	corruptFixtureObject(t, fx, "corpus.txt.gpz")
+	// The first request fails mid-body (the status line may already be
+	// gone), so the connection aborts — read leniently.
+	first := get(t, ts.URL+"/corpus.txt.gpz", nil)
+	io.Copy(io.Discard, first.Body)
+	first.Body.Close()
+	resp := get(t, ts.URL+"/corpus.txt.gpz", nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("expected quarantine 502, got %d", resp.StatusCode)
+	}
+	body(t, resp)
+
+	var warns, quarantined, corrupt int
+	sc := bufio.NewScanner(strings.NewReader(accessLog.String()))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("access log line not JSON: %v", err)
+		}
+		if st, _ := rec["status"].(float64); st >= 500 && rec["level"] != "WARN" {
+			t.Errorf("5xx logged at %v, want WARN: %s", rec["level"], sc.Text())
+		}
+		if rec["level"] == "WARN" {
+			warns++
+			if _, ok := rec["id"]; !ok {
+				t.Errorf("warn line missing request id: %s", sc.Text())
+			}
+		}
+		if rec["verdict"] == "quarantined" {
+			quarantined++
+		}
+		if rec["err"] == "corrupt" {
+			corrupt++
+		}
+	}
+	if warns < 2 {
+		t.Errorf("expected >=2 WARN lines (corrupt decode + quarantine hit), got %d", warns)
+	}
+	if quarantined < 2 {
+		t.Errorf("expected the quarantining request and the fast-path 502 both marked quarantined, got %d", quarantined)
+	}
+	if corrupt == 0 {
+		t.Error("no access line carries the corrupt error class")
+	}
+}
+
+func TestNoTraceDisablesObservability(t *testing.T) {
+	fx := newFixture(t)
+	_, ts := startServer(t, Options{Root: fx.root, NoTrace: true})
+	resp := get(t, ts.URL+"/corpus.txt.gz", map[string]string{"Range": "bytes=0-99"})
+	if resp.Header.Get("X-Request-Id") != "" {
+		t.Error("NoTrace server must not assign request ids")
+	}
+	body(t, resp)
+	resp = get(t, ts.URL+"/debug/requests", nil)
+	var dump struct {
+		Requests []obs.DumpEntry `json:"requests"`
+	}
+	if err := json.Unmarshal(body(t, resp), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Requests) != 0 {
+		t.Errorf("NoTrace server dumped %d requests", len(dump.Requests))
+	}
+}
+
+// metricFamilies is the pinned /metrics name list: removing or renaming
+// any of these is a breaking change for scrapers and dashboards, so the
+// test fails until the list is updated deliberately.
+var metricFamilies = []string{
+	"requests_total", "range_requests_total", "errors_total", "bytes_served_total",
+	"inflight_requests", "waiting_requests", "inflight_sequential_decodes",
+	"shed_total", "panics_total", "quarantined_total", "quarantine_hits_total",
+	"sequential_decodes_total", "source_retries_total",
+	"sidecar_loads_total", "sidecar_builds_total", "sidecar_errors_total",
+	"quarantined_objects", "objects_open",
+	"cache_hits_total", "cache_misses_total", "cache_coalesced_total",
+	"cache_evictions_total", "cache_bytes", "cache_hit_rate", "inflight_block_decodes",
+	"build_info",
+	"go_goroutines", "go_heap_alloc_bytes", "go_heap_sys_bytes",
+	"go_gc_cycles_total", "go_gc_pause_ns_total", "go_gc_last_pause_ns",
+	"process_start_time_seconds", "process_uptime_seconds",
+}
+
+// histogramFamilies get _count/_sum/_p50/_p95/_p99/_p999 suffixes.
+var histogramFamilies = []string{
+	"request_latency_ns",
+	"stage_queue_wait_ns", "stage_resolve_ns", "stage_source_read_ns",
+	"stage_cache_lookup_ns", "stage_block_decode_ns", "stage_seq_decode_ns",
+	"stage_body_write_ns",
+}
+
+func TestMetricsTextExpositionRoundtrip(t *testing.T) {
+	fx := newFixture(t)
+	_, ts := startServer(t, Options{Root: fx.root, CacheBytes: 4 << 20})
+	body(t, get(t, ts.URL+"/corpus.txt.gpz", map[string]string{"Range": "bytes=0-999"}))
+
+	text := string(body(t, get(t, ts.URL+"/metrics", nil)))
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") {
+				t.Fatalf("bad comment line: %q", line)
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value — parse per the Prometheus
+		// text format and verify each piece.
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("sample line has no value: %q", line)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			labels := name[i:]
+			name = name[:i]
+			if !strings.HasSuffix(labels, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			for _, kv := range strings.Split(labels[1:len(labels)-1], ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || !isMetricName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("bad label %q in %q", kv, line)
+				}
+			}
+		}
+		if !isMetricName(name) {
+			t.Fatalf("invalid metric name %q", name)
+		}
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate sample for %s", name)
+		}
+		seen[name] = true
+	}
+
+	want := append([]string{}, metricFamilies...)
+	for _, h := range histogramFamilies {
+		for _, suf := range []string{"_count", "_sum", "_p50", "_p95", "_p99", "_p999"} {
+			want = append(want, h+suf)
+		}
+	}
+	for _, name := range want {
+		if !seen[name] {
+			t.Errorf("pinned metric %s missing from /metrics", name)
+		}
+		delete(seen, name)
+	}
+	for name := range seen {
+		t.Errorf("unpinned metric %s on /metrics — add it to the pinned list", name)
+	}
+
+	// The JSON rendering must agree on names (bare, no labels).
+	var m map[string]float64
+	if err := json.Unmarshal(body(t, get(t, ts.URL+"/metrics?format=json", nil)), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range want {
+		if _, ok := m[name]; !ok {
+			t.Errorf("pinned metric %s missing from JSON rendering", name)
+		}
+	}
+}
+
+// isMetricName checks the Prometheus metric/label name charset.
+func isMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// corruptFixtureObject flips bytes in the middle of an object's payload
+// so decode fails while the header still parses.
+func corruptFixtureObject(t *testing.T, fx *fixture, name string) {
+	t.Helper()
+	p := filepath.Join(fx.root, name)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 2; i < len(data)/2+64 && i < len(data); i++ {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -51,10 +51,12 @@ import (
 	"time"
 
 	"gompresso"
+	"gompresso/internal/buildinfo"
 	"gompresso/internal/deflate"
 	"gompresso/internal/format"
 	"gompresso/internal/gzidx"
 	"gompresso/internal/lz77"
+	"gompresso/internal/obs"
 	"gompresso/internal/perf"
 )
 
@@ -114,16 +116,29 @@ type Options struct {
 	IndexSpacing int64
 	// Logf, when set, receives one line per completed request.
 	Logf func(format string, args ...any)
+	// AccessLog, when set, receives one JSON line (log/slog) per
+	// completed object request: request id, object, range, status,
+	// bytes, cache hits/misses, per-stage timings, shed/quarantine
+	// verdicts. 5xx responses log at WARN with the typed-error class.
+	AccessLog io.Writer
+	// NoTrace disables request tracing entirely: no request ids, no
+	// stage histograms, no /debug/requests ring — the pre-PR-10 request
+	// path. For overhead measurement; production keeps tracing on.
+	NoTrace bool
+	// SlowRing bounds the /debug/requests slow-request ring
+	// (0 = obs.DefaultRingSize).
+	SlowRing int
 }
 
 // Server serves decompressed objects over HTTP. Create with New; it is
 // an http.Handler factory (Handler), not a listener — the caller owns
 // the http.Server and its lifecycle.
 type Server struct {
-	src   Source
-	codec *gompresso.Codec
-	sem   chan struct{}
-	logf  func(string, ...any)
+	src    Source
+	codec  *gompresso.Codec
+	sem    chan struct{}
+	logf   func(string, ...any)
+	tracer *obs.Tracer // nil when Options.NoTrace
 
 	queueWait      time.Duration
 	requestTimeout time.Duration
@@ -286,6 +301,15 @@ func New(o Options) (*Server, error) {
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
 	}
+	if !o.NoTrace {
+		s.tracer = obs.NewTracer(s.reg, o.AccessLog, o.SlowRing)
+	}
+	bi := buildinfo.Get()
+	s.reg.Info("build_info", "binary identity (constant 1; information is in the labels)",
+		[2]string{"version", bi.Version},
+		[2]string{"go_version", bi.GoVersion},
+		[2]string{"revision", bi.Revision})
+	perf.RegisterRuntime(s.reg)
 	s.mRequests = s.reg.Counter("requests_total", "object requests received")
 	s.mRanges = s.reg.Counter("range_requests_total", "requests served as 206 partial content")
 	s.mErrors = s.reg.Counter("errors_total", "requests answered with a 4xx/5xx status or aborted mid-body")
@@ -376,6 +400,9 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.reg.WriteText(w)
 	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		s.tracer.ServeDebugRequests(w, r)
+	})
 	mux.HandleFunc("/", s.serveObject)
 	return mux
 }
@@ -388,6 +415,7 @@ type statusWriter struct {
 	http.ResponseWriter
 	rc           *http.ResponseController
 	writeTimeout time.Duration
+	trace        *obs.Trace // nil when tracing is off
 	status       int
 	bytes        int64
 }
@@ -408,19 +436,33 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 		// fine: the deadline is a bound, not a guarantee.
 		w.rc.SetWriteDeadline(time.Now().Add(w.writeTimeout))
 	}
+	if w.trace != nil {
+		t0 := time.Now()
+		n, err := w.ResponseWriter.Write(p)
+		w.trace.Cum(obs.StageBodyWrite, time.Since(t0), 1)
+		w.bytes += int64(n)
+		return n, err
+	}
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
 }
 
 // serveObject handles one GET/HEAD object request end to end: panic
-// isolation, accounting, and the rolling write deadline's reset.
+// isolation, accounting, the request trace's begin/finish, and the
+// rolling write deadline's reset.
 func (s *Server) serveObject(rw http.ResponseWriter, r *http.Request) {
 	s.mRequests.Inc()
+	ctx, trace := s.tracer.Begin(r.Context(), r.Method, r.URL.Path, r.Header.Get("Range"))
+	if trace != nil {
+		rw.Header().Set("X-Request-Id", trace.ID())
+		r = r.WithContext(ctx)
+	}
 	w := &statusWriter{
 		ResponseWriter: rw,
 		rc:             http.NewResponseController(rw),
 		writeTimeout:   s.writeTimeout,
+		trace:          trace,
 	}
 	start := time.Now()
 	defer func() {
@@ -433,6 +475,7 @@ func (s *Server) serveObject(rw http.ResponseWriter, r *http.Request) {
 			if w.status == 0 {
 				http.Error(w, "internal error", http.StatusInternalServerError)
 			}
+			trace.SetError("panic")
 			s.logf("%s %s PANIC %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 		}
 		if w.writeTimeout > 0 {
@@ -442,19 +485,43 @@ func (s *Server) serveObject(rw http.ResponseWriter, r *http.Request) {
 		}
 		s.mBytes.Add(w.bytes)
 		s.hLatency.Observe(time.Since(start).Nanoseconds())
+		// Finish runs after panic recovery so crashed requests still get
+		// their access-log line (at WARN: the status is 500).
+		trace.Finish(w.status, w.bytes)
 	}()
 	err := s.serve(w, r)
 	if err != nil || w.status >= 400 {
 		s.mErrors.Inc()
 	}
+	if err != nil && trace != nil && !errors.As(err, new(*httpError)) {
+		trace.SetError(errClass(err))
+	}
 	s.logf("%s %s %d %dB %v err=%v", r.Method, r.URL.Path, w.status, w.bytes, time.Since(start).Round(time.Microsecond), err)
 }
 
+// errClass buckets a request error for the access log and span dumps:
+// "corrupt" (the object's bytes are bad), "canceled" (client gone),
+// "deadline" (request timeout), "backend" (read-path failure).
+func errClass(err error) string {
+	switch {
+	case isCorrupt(err):
+		return "corrupt"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "backend"
+	}
+}
+
 // httpError is an error with a response status. serve's callees return
-// it while the response is still unwritten.
+// it while the response is still unwritten. class, when set, is the
+// serving-policy verdict ("quarantined") carried to the access log.
 type httpError struct {
-	code int
-	msg  string
+	code  int
+	msg   string
+	class string
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -469,10 +536,15 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return nil
 	}
+	_, rsp := obs.Start(r.Context(), obs.StageResolve)
 	obj, err := s.open(r.URL.Path)
+	rsp.End()
 	if err != nil {
 		var he *httpError
 		if errors.As(err, &he) {
+			if he.class != "" {
+				w.trace.SetVerdict(he.class)
+			}
 			http.Error(w, he.msg, he.code)
 			return nil
 		}
@@ -508,16 +580,21 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 		shedC = t.C
 	}
 	s.gWaiting.Inc()
+	_, qsp := obs.Start(ctx, obs.StageQueueWait)
 	select {
 	case s.sem <- struct{}{}:
+		qsp.End()
 		s.gWaiting.Dec()
 	case <-shedC:
+		qsp.End()
 		s.gWaiting.Dec()
 		s.mShed.Inc()
+		w.trace.SetVerdict("shed")
 		w.Header().Set("Retry-After", s.retryAfterAdvice())
 		http.Error(w, "overloaded, retry later", http.StatusServiceUnavailable)
 		return nil
 	case <-ctx.Done():
+		qsp.End()
 		s.gWaiting.Dec()
 		return s.answerCtxErr(w, ctx.Err())
 	}
@@ -535,6 +612,7 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 		case ctx.Err() != nil:
 			return s.answerCtxErr(w, err)
 		case s.maybeQuarantine(obj, err):
+			w.trace.SetVerdict("quarantined")
 			http.Error(w, "object corrupt", http.StatusBadGateway)
 		case isCorrupt(err):
 			http.Error(w, "object corrupt", http.StatusBadGateway)
@@ -587,8 +665,8 @@ func (s *Server) serve(w *statusWriter, r *http.Request) error {
 	// abort the connection (the byte count mismatch tells the client).
 	// Corruption discovered mid-send still quarantines the object, so
 	// the next request fails fast with a clean 502.
-	if err != nil {
-		s.maybeQuarantine(obj, err)
+	if err != nil && s.maybeQuarantine(obj, err) {
+		w.trace.SetVerdict("quarantined")
 	}
 	return err
 }
@@ -667,7 +745,11 @@ func (s *Server) open(urlPath string) (*object, error) {
 	// immediately — no open, no limiter slot, no decode.
 	if reason, bad := s.quarantined(name, st); bad {
 		s.mQuarHits.Inc()
-		return nil, errf(http.StatusBadGateway, "object quarantined: %s", reason)
+		return nil, &httpError{
+			code:  http.StatusBadGateway,
+			msg:   fmt.Sprintf("object quarantined: %s", reason),
+			class: "quarantined",
+		}
 	}
 
 	now := time.Now()
@@ -972,10 +1054,13 @@ func (s *Server) retrySequential(ctx context.Context, fn func() (retryable bool,
 func (s *Server) countSize(ctx context.Context, obj *object) (int64, error) {
 	s.gDecoding.Inc()
 	defer s.gDecoding.Dec()
+	src := obs.SourceReaderAt(ctx, obj.file)
 	var n int64
 	err := s.retrySequential(ctx, func() (bool, error) {
 		s.mSeqDec.Inc()
-		r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(obj.file, 0, obj.fsize))
+		_, sp := obs.Start(ctx, obs.StageSeqDecode)
+		defer sp.End()
+		r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(src, 0, obj.fsize))
 		if err != nil {
 			return true, err
 		}
@@ -1100,11 +1185,14 @@ func (s *Server) persistSidecar(obj *object, idx *gompresso.SeekIndex) {
 func (s *Server) serveSequential(ctx context.Context, obj *object, w io.Writer, off, length int64) error {
 	s.gDecoding.Inc()
 	defer s.gDecoding.Dec()
+	src := obs.SourceReaderAt(ctx, obj.file)
 	return s.retrySequential(ctx, func() (bool, error) {
 		s.mSeqDec.Inc()
+		_, sp := obs.Start(ctx, obs.StageSeqDecode)
+		defer sp.End()
 		var sent int64
 		err := func() error {
-			r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(obj.file, 0, obj.fsize))
+			r, err := s.codec.NewReaderContext(ctx, io.NewSectionReader(src, 0, obj.fsize))
 			if err != nil {
 				return err
 			}

@@ -11,6 +11,7 @@ import (
 	"gompresso/internal/blockcache"
 	"gompresso/internal/deflate"
 	"gompresso/internal/format"
+	"gompresso/internal/obs"
 	"gompresso/internal/parallel"
 )
 
@@ -227,6 +228,7 @@ func (r *ReaderAt) readAtCtx(ctx context.Context, p []byte, off int64) (int, err
 			}
 		}()
 	}
+	src := obs.SourceReaderAt(ctx, r.ra)
 	parallel.ForShare(int(nb), r.workers, func(share, k int) {
 		defer recoverToErr(&errs[k])
 		if err := ctx.Err(); err != nil {
@@ -236,7 +238,7 @@ func (r *ReaderAt) readAtCtx(ctx context.Context, p []byte, off int64) (int, err
 		if r.cache != nil {
 			errs[k] = r.readBlockCached(ctx, p[:want], off, b0+int64(k))
 		} else {
-			errs[k] = r.readBlock(p[:want], off, b0+int64(k), scratch[share])
+			errs[k] = r.readBlock(ctx, src, p[:want], off, b0+int64(k), scratch[share])
 		}
 	})
 	for k, err := range errs {
@@ -278,8 +280,8 @@ func pooledBuf(pool *sync.Pool, n int) *[]byte {
 // readBlock decodes block bi into the part of p (the request for
 // [off, off+len(p)) of the raw stream) that the block overlaps. Blocks
 // fully inside the request decode straight into p; edge blocks decode into
-// a pooled buffer first.
-func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScratch) error {
+// a pooled buffer first. src is the (possibly trace-wrapped) source.
+func (r *ReaderAt) readBlock(ctx context.Context, src io.ReaderAt, p []byte, off int64, bi int64, sc *format.DecodeScratch) error {
 	rawStart := r.blockStart(bi)
 	rawLen := r.rawLen(bi)
 	lo, hi := rawStart, rawStart+rawLen
@@ -298,7 +300,11 @@ func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScr
 		defer blockBufPool.Put(bp)
 		dst = *bp
 	}
-	if err := r.decodeBlockInto(dst, bi, sc); err != nil {
+	_, sp := obs.Start(ctx, obs.StageBlockDecode)
+	sp.SetN(bi)
+	err := r.decodeBlockInto(src, dst, bi, sc)
+	sp.End()
+	if err != nil {
 		return err
 	}
 	if !whole {
@@ -308,10 +314,11 @@ func (r *ReaderAt) readBlock(p []byte, off int64, bi int64, sc *format.DecodeScr
 }
 
 // decodeBlockInto fetches, parses, and decodes block bi into dst, whose
-// length must be the block's expected raw length (rawLen(bi)).
-func (r *ReaderAt) decodeBlockInto(dst []byte, bi int64, sc *format.DecodeScratch) error {
+// length must be the block's expected raw length (rawLen(bi)). src is
+// the backing source — r.ra, or its per-request traced wrapper.
+func (r *ReaderAt) decodeBlockInto(src io.ReaderAt, dst []byte, bi int64, sc *format.DecodeScratch) error {
 	if r.fidx != nil {
-		if err := r.fidx.DecodeChunkInto(dst, r.ra, int(bi)); err != nil {
+		if err := r.fidx.DecodeChunkInto(dst, src, int(bi)); err != nil {
 			return fmt.Errorf("gompresso: chunk %d: %w", bi, err)
 		}
 		return nil
@@ -319,7 +326,7 @@ func (r *ReaderAt) decodeBlockInto(dst []byte, bi int64, sc *format.DecodeScratc
 	start, end := r.idx.Offsets[bi], r.idx.Offsets[bi+1]
 	cp := pooledBuf(&compBufPool, int(end-start))
 	defer compBufPool.Put(cp)
-	if _, err := r.ra.ReadAt(*cp, start); err != nil {
+	if _, err := src.ReadAt(*cp, start); err != nil {
 		return fmt.Errorf("gompresso: block %d: %w", bi, err)
 	}
 	var blk format.Block
@@ -370,16 +377,34 @@ func (r *ReaderAt) readBlockCached(ctx context.Context, p []byte, off int64, bi 
 // cacheBlock returns block bi's decoded bytes through the cache, pinned
 // for the caller (Release when done). sc may be nil; the decode then
 // draws scratch from the package pool (the prefetch path).
+//
+// Tracing: the whole call is a cache_lookup span (a hit's copy, a
+// coalesced wait, or a winning decode); when this request's closure
+// actually decodes, that work is a block_decode child span, and the
+// block counts as a cache miss for the request — blocks obtained
+// without decoding (resident or coalesced) count as hits.
 func (r *ReaderAt) cacheBlock(ctx context.Context, bi int64, sc *format.DecodeScratch) (*blockcache.Buf, error) {
 	key := blockcache.Key{Object: r.obj, Block: uint32(bi)}
-	return r.cache.GetOrDecode(ctx, key, int(r.rawLen(bi)), func(dst []byte) error {
+	lctx, lsp := obs.Start(ctx, obs.StageCacheLookup)
+	lsp.SetN(bi)
+	decoded := false
+	buf, err := r.cache.GetOrDecode(ctx, key, int(r.rawLen(bi)), func(dst []byte) error {
+		decoded = true
+		_, dsp := obs.Start(lctx, obs.StageBlockDecode)
+		dsp.SetN(bi)
+		defer dsp.End()
 		s := sc
 		if s == nil && r.hdr.Variant == format.VariantBit {
 			s = format.GetScratch()
 			defer format.PutScratch(s)
 		}
-		return r.decodeBlockInto(dst, bi, s)
+		return r.decodeBlockInto(obs.SourceReaderAt(lctx, r.ra), dst, bi, s)
 	})
+	lsp.End()
+	if err == nil {
+		obs.FromContext(ctx).CountCache(!decoded)
+	}
+	return buf, err
 }
 
 // WriteRangeTo streams the decompressed byte range [off, off+length) to

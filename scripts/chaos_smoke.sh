@@ -83,6 +83,28 @@ curl -sf --max-time 120 "http://$addr/slow.gz" > "$work/got"
 cmp "$work/got" "$work/corpus.txt" || { echo "FAIL: slow.gz served wrong bytes"; exit 1; }
 alive "slow.gz"
 
+# 2b. Attribution: the slow request must be in the /debug/requests ring,
+# and its stage breakdown must blame source_read — the injected 50ms/read
+# latency — as the dominant stage, so a tail spike points at the disk,
+# not at decode or the cache.
+curl -sf "http://$addr/debug/requests?n=64" > "$work/debug.json"
+python3 - "$work/debug.json" <<'PY'
+import json, sys
+dump = json.load(open(sys.argv[1]))
+slow = [r for r in dump.get("requests", []) if r["path"] == "/slow.gz"]
+if not slow:
+    sys.exit("slow.gz not present in /debug/requests")
+r = max(slow, key=lambda r: r["dur_ms"])
+stages = r.get("stages", {})
+src = stages.get("source_read_us", 0)
+if src < 40000:
+    sys.exit("slow.gz source_read_us = %d, want >= 40000 (stages: %s)" % (src, stages))
+worst = max(stages, key=stages.get)
+if worst != "source_read_us":
+    sys.exit("slow.gz dominant stage is %s, want source_read_us (stages: %s)" % (worst, stages))
+PY
+alive "attribution"
+
 # 3. Load shedding: hold the single decode slot with a slow request,
 # then a queued request must be shed with 503 + Retry-After within
 # -queue-wait, not stall behind it. The holder must be an object no

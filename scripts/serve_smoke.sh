@@ -7,7 +7,10 @@
 #     -length` (indexed containers) or to a slice of the original bytes
 #     (sequential fallbacks: unindexed containers, .gz),
 #   - /healthz and the stats endpoint respond,
-#   - a repeated hot range shows cache hits > 0 in the stats.
+#   - a repeated hot range shows cache hits > 0 in the stats,
+#   - every request produces a structured JSON access-log line with the
+#     required keys, and a response's X-Request-Id joins against the
+#     /debug/requests slow-request ring.
 set -euo pipefail
 
 work=$(mktemp -d)
@@ -40,7 +43,7 @@ grep -q '"index": true' "$work/stat.json"
 grep -q '"index": false' "$work/stat2.json"
 
 addr=127.0.0.1:18427
-"$bin" serve -addr "$addr" -root "$root" -cache 16 -index-dir "$root" -index-spacing 65536 -quiet 2>"$work/serve.log" &
+"$bin" serve -addr "$addr" -root "$root" -cache 16 -index-dir "$root" -index-spacing 65536 -quiet -access-log "$work/access.jsonl" 2>"$work/serve.log" &
 srv_pid=$!
 for _ in $(seq 1 100); do
   curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
@@ -100,6 +103,35 @@ hits=$(grep -o '"cache_hits_total": [0-9]*' "$work/metrics.json" | tr -dc 0-9)
 grep -q '"requests_total"' "$work/metrics.json"
 curl -sf "http://$addr/metrics" > "$work/metrics.txt"
 grep -q '^cache_hit_rate ' "$work/metrics.txt"
+grep -q '^build_info{' "$work/metrics.txt"
+grep -q '^go_goroutines ' "$work/metrics.txt"
+grep -q '^stage_block_decode_ns_count ' "$work/metrics.txt"
+
+# Observability: a response's X-Request-Id must join against the
+# /debug/requests ring, and every access-log line must be valid JSON
+# with the required keys.
+rid=$(curl -sf -D - -o /dev/null -H "Range: bytes=0-99" "http://$addr/corpus.gpz" | tr -d '\r' | awk 'tolower($1)=="x-request-id:"{print $2}')
+[ -n "$rid" ] || { echo "FAIL: response missing X-Request-Id"; exit 1; }
+curl -sf "http://$addr/debug/requests?n=64" > "$work/debug.json"
+grep -q "\"$rid\"" "$work/debug.json" || { echo "FAIL: request $rid not in /debug/requests"; exit 1; }
+python3 - "$work/access.jsonl" <<'PY'
+import json, sys
+required = {"id", "method", "path", "status", "bytes", "dur_ms",
+            "cache_hits", "cache_misses", "stages"}
+n = 0
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line:
+        continue
+    rec = json.loads(line)
+    missing = required - rec.keys()
+    if missing:
+        sys.exit("access-log line missing keys %s: %s" % (sorted(missing), line[:200]))
+    n += 1
+if n == 0:
+    sys.exit("access log is empty")
+PY
+loglines=$(wc -l < "$work/access.jsonl" | tr -d ' ')
 
 # Foreign random access (PR 7): the first .gz request above ran the one
 # counting decode, captured the seek index, and persisted a sidecar.
@@ -143,4 +175,4 @@ loads2=$(grep -o '"sidecar_loads_total": [0-9]*' "$work/metrics3.json" | tr -dc 
 [ "${seq2:-1}" = "0" ] || { echo "FAIL: warm-sidecar server ran $seq2 sequential decodes"; exit 1; }
 [ "${loads2:-0}" -ge 1 ] || { echo "FAIL: warm-sidecar server never loaded the sidecar"; exit 1; }
 
-echo "serve smoke: OK (size=$size, cache_hits=$hits, sidecar_loads=$loads2)"
+echo "serve smoke: OK (size=$size, cache_hits=$hits, sidecar_loads=$loads2, access_log_lines=$loglines)"

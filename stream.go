@@ -11,7 +11,9 @@ import (
 	"gompresso/internal/core"
 	"gompresso/internal/deflate"
 	"gompresso/internal/format"
+	"gompresso/internal/obs"
 	"gompresso/internal/parallel"
+	"time"
 )
 
 // Reader streams the decompressed contents of a Gompresso container from an
@@ -275,11 +277,22 @@ func (r *Reader) advanceSync() {
 	}
 	r.buf = r.buf[:r.blk.RawLen]
 	r.off = 0
+	// Block decodes accrue cumulatively (one span per block would swamp
+	// the trace table on long streams); the clock is read only when a
+	// trace rode in on the context.
+	trace := obs.FromContext(r.ctx)
+	var t0 time.Time
+	if trace != nil {
+		t0 = time.Now()
+	}
 	if r.hdr.Variant == format.VariantByte {
 		r.err = format.DecodeByteInto(r.buf, r.blk.Payload, r.blk.NumSeqs)
 	} else {
 		bb := bitBlockView(r.hdr, &r.blk)
 		r.err = bb.DecodeBitInto(r.buf, r.sc)
+	}
+	if trace != nil {
+		trace.Cum(obs.StageBlockDecode, time.Since(t0), 1)
 	}
 	if r.err != nil {
 		r.err = fmt.Errorf("gompresso: %w", r.err)
@@ -620,6 +633,14 @@ func (p *pipe) decode(blk *format.Block, buf []byte) blockResult {
 		buf = make([]byte, blk.RawLen)
 	}
 	buf = buf[:blk.RawLen]
+	// Cumulative accrual, as in advanceSync: pipelined decodes run on
+	// pool workers but the trace's counters are atomic, so accrual from
+	// here is safe.
+	trace := obs.FromContext(p.ctx)
+	var t0 time.Time
+	if trace != nil {
+		t0 = time.Now()
+	}
 	var err error
 	if p.hdr.Variant == format.VariantByte {
 		err = format.DecodeByteInto(buf, blk.Payload, blk.NumSeqs)
@@ -630,6 +651,9 @@ func (p *pipe) decode(blk *format.Block, buf []byte) blockResult {
 		bb := bitBlockView(p.hdr, blk)
 		err = bb.DecodeBitInto(buf, sc)
 		p.scs <- sc
+	}
+	if trace != nil {
+		trace.Cum(obs.StageBlockDecode, time.Since(t0), 1)
 	}
 	p.blocks <- blk
 	if err != nil {
